@@ -1,0 +1,304 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure, plus ablations of the design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration regenerates the corresponding table/figure with
+// reduced sweep sizes (the full-size sweeps are the cmd/wisync-bench tool).
+// Reported ns/op is wall time to reproduce the experiment; custom metrics
+// carry headline simulated results so regressions in *shape* show up in
+// benchmark diffs.
+package wisync_test
+
+import (
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/harness"
+	"wisync/internal/kernels"
+	"wisync/internal/sim"
+	"wisync/internal/stats"
+	"wisync/internal/syncprims"
+	"wisync/internal/wireless"
+)
+
+func quickOpts() harness.Options { return harness.Options{Quick: true} }
+
+// BenchmarkTable4AreaPower regenerates Table 4 (analytic RF scaling model).
+func BenchmarkTable4AreaPower(b *testing.B) {
+	var atomAreaPct float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table4(quickOpts())
+		atomAreaPct = rows[1].AreaPct
+	}
+	b.ReportMetric(atomAreaPct, "atom-area-%")
+}
+
+// BenchmarkFig7TightLoop regenerates Figure 7 (TightLoop vs core count).
+func BenchmarkFig7TightLoop(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig7(quickOpts())
+		var base, w float64
+		for _, r := range rows {
+			if r.Cores == 128 {
+				switch r.Kind {
+				case config.Baseline:
+					base = r.CyclesPerIter
+				case config.WiSync:
+					w = r.CyclesPerIter
+				}
+			}
+		}
+		speedup = base / w
+	}
+	b.ReportMetric(speedup, "baseline/wisync@128c")
+}
+
+// BenchmarkFig8Livermore regenerates Figure 8 (Livermore loops 2, 3, 6).
+func BenchmarkFig8Livermore(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig8(quickOpts())
+		var base, w float64
+		for _, r := range rows {
+			if r.Loop == 2 && r.Length == 16 && r.Cores == 64 {
+				switch r.Kind {
+				case config.Baseline:
+					base = float64(r.Cycles)
+				case config.WiSync:
+					w = float64(r.Cycles)
+				}
+			}
+		}
+		adv = base / w
+	}
+	b.ReportMetric(adv, "loop2-n16-advantage")
+}
+
+// BenchmarkFig9CAS regenerates Figure 9 (CAS throughput).
+func BenchmarkFig9CAS(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig9(quickOpts())
+		var base, w float64
+		for _, r := range rows {
+			if r.Kernel == kernels.ADD && r.CSInstr == 16 && r.Cores == 64 {
+				switch r.Kind {
+				case config.Baseline:
+					base = r.Per1000
+				case config.WiSync:
+					w = r.Per1000
+				}
+			}
+		}
+		gap = w / base
+	}
+	b.ReportMetric(gap, "contended-gap-x")
+}
+
+// BenchmarkFig10Apps regenerates Figure 10 (application speedups).
+func BenchmarkFig10Apps(b *testing.B) {
+	var gm float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig10(quickOpts())
+		var w []float64
+		for _, r := range rows {
+			w = append(w, r.Speedup[config.WiSync])
+		}
+		gm = stats.GeoMean(w)
+	}
+	b.ReportMetric(gm, "wisync-geomean")
+}
+
+// BenchmarkTable5Utilization regenerates Table 5 (channel utilization).
+func BenchmarkTable5Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Table5(quickOpts(), nil)
+	}
+}
+
+// BenchmarkFig11Sensitivity regenerates Figure 11 (Table 6 variants).
+func BenchmarkFig11Sensitivity(b *testing.B) {
+	var slowNetGM float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig11(quickOpts())
+		for _, r := range rows {
+			if r.Variant == config.SlowNet && r.Kind == config.WiSync {
+				slowNetGM = r.GeoMean
+			}
+		}
+	}
+	b.ReportMetric(slowNetGM, "slownet-geomean")
+}
+
+// ---- Ablations (DESIGN.md section 5) ----
+
+// benchBarrier measures one barrier configuration's cycles/episode.
+func benchBarrier(b *testing.B, cfg config.Config, episodes int) float64 {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(cfg)
+		bar := syncprims.NewFactory(m).NewBarrier(nil)
+		m.SpawnAll(func(t *core.Thread) {
+			for e := 0; e < episodes; e++ {
+				bar.Wait(t)
+			}
+		})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		per = float64(m.Now()) / float64(episodes)
+	}
+	return per
+}
+
+// BenchmarkAblationToneVsData is the paper's own ablation: the Tone
+// channel on/off for barrier bursts (WiSync vs WiSyncNoT).
+func BenchmarkAblationToneVsData(b *testing.B) {
+	b.Run("tone", func(b *testing.B) {
+		b.ReportMetric(benchBarrier(b, config.New(config.WiSync, 64), 10), "cyc/barrier")
+	})
+	b.Run("data", func(b *testing.B) {
+		b.ReportMetric(benchBarrier(b, config.New(config.WiSyncNoT, 64), 10), "cyc/barrier")
+	})
+}
+
+// BenchmarkAblationBackoff compares the Section 5.3 persistent backoff,
+// classic per-message Ethernet backoff, and a constant window.
+func BenchmarkAblationBackoff(b *testing.B) {
+	run := func(name string, mod func(*wireless.Params)) {
+		b.Run(name, func(b *testing.B) {
+			cfg := config.New(config.WiSyncNoT, 64)
+			mod(&cfg.Wireless)
+			b.ReportMetric(benchBarrier(b, cfg, 10), "cyc/barrier")
+		})
+	}
+	run("persistent", func(p *wireless.Params) { p.Backoff = wireless.BackoffPersistent })
+	run("per-message", func(p *wireless.Params) { p.Backoff = wireless.BackoffPerMessage })
+	run("adaptive", func(p *wireless.Params) { p.Backoff = wireless.BackoffAdaptive })
+	run("constant16", func(p *wireless.Params) { p.ConstantBackoffWindow = 16 })
+}
+
+// BenchmarkAblationDeferPolicy compares the FIFO busy-deferral drain with
+// pure re-contention CSMA.
+func BenchmarkAblationDeferPolicy(b *testing.B) {
+	run := func(name string, d wireless.DeferPolicy) {
+		b.Run(name, func(b *testing.B) {
+			cfg := config.New(config.WiSyncNoT, 64)
+			cfg.Wireless.Defer = d
+			b.ReportMetric(benchBarrier(b, cfg, 10), "cyc/barrier")
+		})
+	}
+	run("fifo", wireless.DeferFIFO)
+	run("contend", wireless.DeferContend)
+}
+
+// BenchmarkAblationRMWProtocol compares grant-time RMW evaluation with the
+// literal Section 4.2.1 early-read + AFB retry protocol.
+func BenchmarkAblationRMWProtocol(b *testing.B) {
+	run := func(name string, early bool) {
+		b.Run(name, func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				cfg := config.New(config.WiSyncNoT, 64)
+				m := core.NewMachine(cfg)
+				m.BM.SetRMWEarlyRead(early)
+				bar := syncprims.NewFactory(m).NewBarrier(nil)
+				m.SpawnAll(func(t *core.Thread) {
+					for e := 0; e < 10; e++ {
+						bar.Wait(t)
+					}
+				})
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				per = float64(m.Now()) / 10
+			}
+			b.ReportMetric(per, "cyc/barrier")
+		})
+	}
+	run("at-grant", false)
+	run("early-read", true)
+}
+
+// BenchmarkAblationTreeBroadcast measures the Baseline+ virtual-tree NoC
+// support by toggling it under the tournament barrier.
+func BenchmarkAblationTreeBroadcast(b *testing.B) {
+	// Baseline+ has the tree; compare against Baseline hardware with the
+	// same tournament barrier software by constructing it directly.
+	b.Run("tree", func(b *testing.B) {
+		b.ReportMetric(benchBarrier(b, config.New(config.BaselinePlus, 64), 10), "cyc/barrier")
+	})
+	b.Run("release-storm-baseline", func(b *testing.B) {
+		b.ReportMetric(benchBarrier(b, config.New(config.Baseline, 64), 10), "cyc/barrier")
+	})
+}
+
+// BenchmarkAblationChannelBandwidth compares the conservative 5-cycle
+// (19 Gb/s) message with the 4-cycle (32 Gb/s) projection of Section 2.
+func BenchmarkAblationChannelBandwidth(b *testing.B) {
+	run := func(name string, msgCycles sim.Time) {
+		b.Run(name, func(b *testing.B) {
+			cfg := config.New(config.WiSyncNoT, 64)
+			cfg.Wireless.MsgCycles = msgCycles
+			b.ReportMetric(benchBarrier(b, cfg, 10), "cyc/barrier")
+		})
+	}
+	run("19gbps-5cyc", 5)
+	run("32gbps-4cyc", 4)
+}
+
+// BenchmarkAblationBulkVsSingles compares one 15-cycle Bulk message with
+// four single messages for a 4-word producer-consumer transfer.
+func BenchmarkAblationBulkVsSingles(b *testing.B) {
+	run := func(name string, words int, batches int) {
+		b.Run(name, func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(config.New(config.WiSync, 4))
+				f := syncprims.NewFactory(m)
+				var pcs []*syncprims.PC
+				if words == 4 {
+					pcs = []*syncprims.PC{f.NewPC(4)}
+				} else {
+					pcs = []*syncprims.PC{f.NewPC(1), f.NewPC(1), f.NewPC(1), f.NewPC(1)}
+				}
+				m.Spawn("producer", 0, 1, func(t *core.Thread) {
+					for n := 0; n < batches; n++ {
+						if words == 4 {
+							pcs[0].Produce(t, []uint64{1, 2, 3, 4})
+						} else {
+							for _, pc := range pcs {
+								pc.Produce(t, []uint64{uint64(n)})
+							}
+						}
+					}
+				})
+				m.Spawn("consumer", 3, 1, func(t *core.Thread) {
+					buf4 := make([]uint64, 4)
+					buf1 := make([]uint64, 1)
+					for n := 0; n < batches; n++ {
+						if words == 4 {
+							pcs[0].Consume(t, buf4)
+						} else {
+							for _, pc := range pcs {
+								pc.Consume(t, buf1)
+							}
+						}
+					}
+				})
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				per = float64(m.Now()) / float64(batches)
+			}
+			b.ReportMetric(per, "cyc/4words")
+		})
+	}
+	run("bulk", 4, 40)
+	run("singles", 1, 40)
+}

@@ -1,0 +1,58 @@
+// Command wisync-bench regenerates the tables and figures of the paper's
+// evaluation (Section 7).
+//
+// Usage:
+//
+//	wisync-bench [-quick] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]
+//
+// Each subcommand prints the same rows or series the paper reports. Shapes
+// (who wins, by roughly what factor, where crossovers fall) reproduce the
+// paper; absolute cycle counts come from this repository's simulator, not
+// the authors' Multi2Sim testbed. -quick shrinks the sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wisync/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	o := harness.Options{Quick: *quick, Out: os.Stdout}
+	start := time.Now()
+	switch what {
+	case "table4":
+		harness.Table4(o)
+	case "fig7":
+		harness.Fig7(o)
+	case "fig8":
+		harness.Fig8(o)
+	case "fig9":
+		harness.Fig9(o)
+	case "fig10":
+		harness.Fig10(o)
+	case "table5":
+		harness.Table5(o, nil)
+	case "fig11":
+		harness.Fig11(o)
+	case "all":
+		harness.All(o)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,103 @@
+// Command wisync-sim runs one workload on one machine configuration and
+// prints timing and hardware statistics.
+//
+// Usage:
+//
+//	wisync-sim -config WiSync -cores 64 -workload tightloop -iters 20
+//	wisync-sim -config Baseline -workload liv6 -n 512
+//	wisync-sim -config WiSync -workload add -cs 256 -duration 100000
+//	wisync-sim -config WiSyncNoT -workload app:streamcluster
+//
+// Workloads: tightloop, liv2, liv3, liv6, fifo, lifo, add, app:<name>.
+// Configs: Baseline, Baseline+, WiSyncNoT, WiSync. Variants: Default,
+// SlowNet, SlowNet+L2, FastNet, SlowBMEM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wisync/internal/apps"
+	"wisync/internal/config"
+	"wisync/internal/kernels"
+	"wisync/internal/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "WiSync", "machine kind: Baseline, Baseline+, WiSyncNoT, WiSync")
+	cores := flag.Int("cores", 64, "core count (16-256)")
+	workload := flag.String("workload", "tightloop", "tightloop|liv2|liv3|liv6|fifo|lifo|add|app:<name>")
+	n := flag.Int("n", 1024, "vector length for Livermore loops")
+	iters := flag.Int("iters", 20, "iterations for tightloop")
+	cs := flag.Int("cs", 256, "instructions between CASes for the CAS kernels")
+	duration := flag.Uint64("duration", 200000, "cycles to run the CAS kernels")
+	variant := flag.String("variant", "Default", "Table 6 variant")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	kind, ok := parseKind(*cfgName)
+	if !ok {
+		fatalf("unknown config %q", *cfgName)
+	}
+	v, ok := parseVariant(*variant)
+	if !ok {
+		fatalf("unknown variant %q", *variant)
+	}
+	cfg := config.New(kind, *cores).WithVariant(v).WithSeed(*seed)
+
+	switch {
+	case *workload == "tightloop":
+		r := kernels.TightLoop(cfg, *iters)
+		fmt.Println(r)
+		fmt.Printf("data channel utilization: %.3f%%\n", 100*r.DataChannelUtil)
+	case *workload == "liv2":
+		r, _ := kernels.Livermore2(cfg, *n, 1)
+		fmt.Println(r)
+	case *workload == "liv3":
+		r, sum := kernels.Livermore3(cfg, *n, 1)
+		fmt.Println(r)
+		fmt.Printf("inner product: %g\n", sum)
+	case *workload == "liv6":
+		r, _ := kernels.Livermore6(cfg, *n)
+		fmt.Println(r)
+	case *workload == "fifo" || *workload == "lifo" || *workload == "add":
+		kn := map[string]kernels.CASKind{"fifo": kernels.FIFO, "lifo": kernels.LIFO, "add": kernels.ADD}[*workload]
+		r := kernels.CASKernel(cfg, kn, *cs, sim.Time(*duration))
+		fmt.Println(r)
+	case strings.HasPrefix(*workload, "app:"):
+		name := strings.TrimPrefix(*workload, "app:")
+		p, ok := apps.ByName(name)
+		if !ok {
+			fatalf("unknown application %q (see internal/apps/profiles.go)", name)
+		}
+		r := apps.Run(cfg, p)
+		fmt.Println(r)
+	default:
+		fatalf("unknown workload %q", *workload)
+	}
+}
+
+func parseKind(s string) (config.Kind, bool) {
+	for _, k := range config.Kinds {
+		if strings.EqualFold(k.String(), s) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func parseVariant(s string) (config.Variant, bool) {
+	for _, v := range config.Variants {
+		if strings.EqualFold(v.String(), s) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wisync-sim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,162 @@
+// Package apps models the paper's full-application evaluation (Section
+// 7.4): the complete PARSEC and SPLASH-2 suites on 64 cores.
+//
+// Running the real binaries requires an x86 full-system simulator, so each
+// application is replaced by a synthetic thread-parallel program whose
+// synchronization profile — compute grain and arrival jitter, barrier
+// frequency, lock count/contention/hold times, reductions, shared-memory
+// footprint — is calibrated so the published per-application speedups of
+// Figure 10 and the channel utilizations of Table 5 are reproduced in
+// shape. The synthetic programs exercise the real machinery end to end:
+// locks and barriers come from package syncprims and run over the real
+// MOESI hierarchy or the real wireless BM, so the speedups are emergent,
+// not scripted. See DESIGN.md, substitution 2.
+package apps
+
+import (
+	"fmt"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/sim"
+	"wisync/internal/syncprims"
+)
+
+// Profile describes one application's synchronization behavior. Each of
+// the app's threads runs Iterations of: jittered compute, shared-footprint
+// reads, lock/unlock critical sections, reduction updates, and barriers.
+type Profile struct {
+	Name  string
+	Suite string
+
+	Iterations int
+	// ComputeMean is the cycles of local computation per iteration,
+	// jittered multiplicatively by +-Jitter.
+	ComputeMean int
+	Jitter      float64
+	// Barriers per iteration (the barrier-bound apps hit several with
+	// little work between).
+	BarriersPerIter int
+	// Locks: LockOpsPerIter acquire/release pairs spread over NumLocks
+	// locks (1 = a serialized hot lock), holding HoldCycles inside the
+	// critical section plus one shared-line write.
+	LockOpsPerIter int
+	NumLocks       int
+	HoldCycles     int
+	// ReductionsPerIter fetch&add updates to a global accumulator.
+	ReductionsPerIter int
+	// SharedReadsPerIter reads over a shared footprint of SharedLines
+	// cache lines (background coherence traffic).
+	SharedReadsPerIter int
+	SharedLines        int
+}
+
+// Result reports one application execution.
+type Result struct {
+	Profile Profile
+	Cfg     config.Config
+	Cycles  sim.Time
+	// DataUtilPct is Data-channel utilization in percent (Table 5).
+	DataUtilPct float64
+	// Spills counts BM allocations that fell back to cached memory.
+	Spills int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-13s %-10s %9d cycles  util %.2f%%",
+		r.Profile.Name, r.Cfg.Kind, r.Cycles, r.DataUtilPct)
+}
+
+// Run executes the profile on the given configuration.
+func Run(cfg config.Config, p Profile) Result {
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	var barrier syncprims.Barrier
+	if p.BarriersPerIter > 0 {
+		barrier = f.NewBarrier(nil)
+	}
+	locks := make([]syncprims.Lock, p.NumLocks)
+	for i := range locks {
+		locks[i] = f.NewLock()
+	}
+	var red *syncprims.Reducer
+	if p.ReductionsPerIter > 0 {
+		red = f.NewReducer(0)
+	}
+	var shared uint64
+	if p.SharedLines > 0 {
+		shared = m.AllocArray(p.SharedLines * 8)
+	}
+	lockData := make([]uint64, max(p.NumLocks, 1))
+	for i := range lockData {
+		lockData[i] = m.AllocLine()
+	}
+
+	m.SpawnAll(func(t *core.Thread) {
+		rng := sim.NewRand(cfg.Seed*1000003 + uint64(t.Core))
+		// Desynchronized start, as threads of a real program are.
+		t.Compute(rng.Intn(p.ComputeMean/4 + 1))
+		for it := 0; it < p.Iterations; it++ {
+			compute := p.ComputeMean / max(p.BarriersPerIter, 1)
+			for b := 0; b < max(p.BarriersPerIter, 1); b++ {
+				t.Compute(int(rng.Jitter(float64(compute), p.Jitter, 1)))
+				for r := 0; r < p.SharedReadsPerIter/max(p.BarriersPerIter, 1); r++ {
+					line := rng.Intn(p.SharedLines)
+					t.Read(shared + uint64(line*64))
+				}
+				if barrier != nil {
+					barrier.Wait(t)
+				}
+			}
+			for l := 0; l < p.LockOpsPerIter; l++ {
+				li := rng.Intn(max(p.NumLocks, 1))
+				lk := locks[li%len(locks)]
+				lk.Acquire(t)
+				t.Compute(p.HoldCycles)
+				t.Write(lockData[li%len(lockData)], uint64(it))
+				lk.Release(t)
+				t.Compute(int(rng.Jitter(float64(p.HoldCycles*2+20), p.Jitter, 1)))
+			}
+			for r := 0; r < p.ReductionsPerIter; r++ {
+				red.Add(t, 1)
+				t.Compute(20 + rng.Intn(40))
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(fmt.Sprintf("apps: %s on %s: %v", p.Name, cfg.Kind, err))
+	}
+	return Result{
+		Profile:     p,
+		Cfg:         cfg,
+		Cycles:      m.Now(),
+		DataUtilPct: 100 * m.DataChannelUtilization(),
+		Spills:      f.Spills,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Speedups runs the profile on all four configurations and returns the
+// speedup of each over Baseline (Figure 10's metric).
+func Speedups(base config.Config, p Profile) map[config.Kind]float64 {
+	out := make(map[config.Kind]float64, len(config.Kinds))
+	var baseline float64
+	for _, k := range config.Kinds {
+		cfg := base
+		cfg.Kind = k
+		r := Run(cfg, p)
+		if k == config.Baseline {
+			baseline = float64(r.Cycles)
+			out[k] = 1
+			continue
+		}
+		out[k] = baseline / float64(r.Cycles)
+	}
+	return out
+}

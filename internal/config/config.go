@@ -1,0 +1,169 @@
+// Package config captures the architecture configurations of the paper's
+// evaluation as data: the general and WiSync parameters of Table 1, the
+// four machine kinds of Table 2, and the memory/network sensitivity
+// variants of Table 6.
+package config
+
+import (
+	"fmt"
+
+	"wisync/internal/sim"
+	"wisync/internal/tone"
+	"wisync/internal/wireless"
+)
+
+// Kind selects one of the four compared machines (Table 2).
+type Kind int
+
+// Machine kinds.
+const (
+	// Baseline is a plain manycore: CAS locks and a centralized
+	// sense-reversing barrier over the cache hierarchy.
+	Baseline Kind = iota
+	// BaselinePlus adds virtual-tree broadcast in the NoC, MCS locks and
+	// tournament barriers.
+	BaselinePlus
+	// WiSyncNoT is WiSync without the Tone channel: all synchronization
+	// uses the wireless Data channel.
+	WiSyncNoT
+	// WiSync is the full design: Data channel plus Tone-channel barriers.
+	WiSync
+)
+
+// Kinds lists all four configurations in presentation order.
+var Kinds = []Kind{Baseline, BaselinePlus, WiSyncNoT, WiSync}
+
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case BaselinePlus:
+		return "Baseline+"
+	case WiSyncNoT:
+		return "WiSyncNoT"
+	case WiSync:
+		return "WiSync"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// HasBM reports whether the configuration includes Broadcast Memories and
+// the wireless Data channel.
+func (k Kind) HasBM() bool { return k == WiSyncNoT || k == WiSync }
+
+// HasTone reports whether the configuration includes the Tone channel.
+func (k Kind) HasTone() bool { return k == WiSync }
+
+// TreeBroadcast reports whether the NoC supports virtual-tree multicast.
+func (k Kind) TreeBroadcast() bool { return k == BaselinePlus }
+
+// Variant selects a Table 6 sensitivity configuration.
+type Variant int
+
+// Sensitivity variants (Table 6).
+const (
+	Default Variant = iota
+	SlowNet
+	SlowNetL2
+	FastNet
+	SlowBMEM
+)
+
+// Variants lists the Table 6 rows in order.
+var Variants = []Variant{Default, SlowNet, SlowNetL2, FastNet, SlowBMEM}
+
+func (v Variant) String() string {
+	switch v {
+	case Default:
+		return "Default"
+	case SlowNet:
+		return "SlowNet"
+	case SlowNetL2:
+		return "SlowNet+L2"
+	case FastNet:
+		return "FastNet"
+	case SlowBMEM:
+		return "SlowBMEM"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config is a full machine configuration.
+type Config struct {
+	Kind  Kind
+	Cores int
+	// Seed drives all simulation randomness; same seed, same run.
+	Seed uint64
+
+	// Wired hierarchy (Table 1 / Table 6).
+	L1RT       sim.Time
+	L2RT       sim.Time
+	MemRT      sim.Time
+	HopLatency uint64
+	L1Sets     int
+	L1Ways     int
+	MemCtrlOcc sim.Time
+
+	// WiSync hardware (Table 1).
+	BMRT      sim.Time
+	BMEntries int
+	Wireless  wireless.Params
+	Tone      tone.Params
+}
+
+// New returns the default (Table 1) configuration of the given kind and
+// core count. The paper evaluates 16-256 cores with a default of 64.
+func New(kind Kind, cores int) Config {
+	return Config{
+		Kind:       kind,
+		Cores:      cores,
+		Seed:       1,
+		L1RT:       2,
+		L2RT:       6,
+		MemRT:      110,
+		HopLatency: 4,
+		L1Sets:     256,
+		L1Ways:     2,
+		MemCtrlOcc: 8,
+		BMRT:       2,
+		BMEntries:  2048,
+		Wireless:   wireless.DefaultParams(),
+		Tone:       tone.DefaultParams(),
+	}
+}
+
+// WithVariant applies a Table 6 sensitivity variant.
+func (c Config) WithVariant(v Variant) Config {
+	switch v {
+	case SlowNet:
+		c.HopLatency = 6
+	case SlowNetL2:
+		c.HopLatency = 6
+		c.L2RT = 12
+	case FastNet:
+		c.HopLatency = 2
+	case SlowBMEM:
+		c.BMRT = 4
+	}
+	return c
+}
+
+// WithSeed returns the configuration with a different random seed.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = seed
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.Cores > 256 {
+		return fmt.Errorf("config: %d cores outside supported range [1,256]", c.Cores)
+	}
+	if c.L1RT == 0 || c.L2RT == 0 || c.MemRT == 0 {
+		return fmt.Errorf("config: zero cache latency")
+	}
+	if c.Kind.HasBM() && c.BMEntries == 0 {
+		return fmt.Errorf("config: WiSync configuration with no BM entries")
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package config
+
+import "testing"
+
+func TestKindProperties(t *testing.T) {
+	cases := []struct {
+		k              Kind
+		bm, tone, tree bool
+		name           string
+	}{
+		{Baseline, false, false, false, "Baseline"},
+		{BaselinePlus, false, false, true, "Baseline+"},
+		{WiSyncNoT, true, false, false, "WiSyncNoT"},
+		{WiSync, true, true, false, "WiSync"},
+	}
+	for _, c := range cases {
+		if c.k.HasBM() != c.bm || c.k.HasTone() != c.tone || c.k.TreeBroadcast() != c.tree {
+			t.Errorf("%v: HasBM=%v HasTone=%v Tree=%v", c.k, c.k.HasBM(), c.k.HasTone(), c.k.TreeBroadcast())
+		}
+		if c.k.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.k.String(), c.name)
+		}
+	}
+	if len(Kinds) != 4 {
+		t.Errorf("Kinds has %d entries", len(Kinds))
+	}
+}
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	c := New(WiSync, 64)
+	if c.L1RT != 2 || c.L2RT != 6 || c.MemRT != 110 || c.HopLatency != 4 {
+		t.Errorf("wired defaults = %+v", c)
+	}
+	if c.BMRT != 2 || c.BMEntries != 2048 {
+		t.Errorf("BM defaults = RT %d, entries %d", c.BMRT, c.BMEntries)
+	}
+	if c.Wireless.MsgCycles != 5 || c.Wireless.BulkCycles != 15 || c.Wireless.CollisionCycles != 2 {
+		t.Errorf("wireless defaults = %+v", c.Wireless)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestVariantsMatchTable6(t *testing.T) {
+	base := New(WiSync, 64)
+	cases := []struct {
+		v      Variant
+		l2, bm int
+		hop    uint64
+	}{
+		{Default, 6, 2, 4},
+		{SlowNet, 6, 2, 6},
+		{SlowNetL2, 12, 2, 6},
+		{FastNet, 6, 2, 2},
+		{SlowBMEM, 6, 4, 4},
+	}
+	for _, c := range cases {
+		got := base.WithVariant(c.v)
+		if int(got.L2RT) != c.l2 || int(got.BMRT) != c.bm || got.HopLatency != c.hop {
+			t.Errorf("%v: L2 %d BM %d hop %d, want %d %d %d",
+				c.v, got.L2RT, got.BMRT, got.HopLatency, c.l2, c.bm, c.hop)
+		}
+	}
+	if len(Variants) != 5 {
+		t.Errorf("Variants has %d entries", len(Variants))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := New(WiSync, 64)
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Error("0 cores validated")
+	}
+	bad = New(WiSync, 64)
+	bad.Cores = 512
+	if bad.Validate() == nil {
+		t.Error("512 cores validated")
+	}
+	bad = New(WiSync, 64)
+	bad.BMEntries = 0
+	if bad.Validate() == nil {
+		t.Error("WiSync with 0 BM entries validated")
+	}
+	ok := New(Baseline, 64)
+	ok.BMEntries = 0 // irrelevant without BM
+	if err := ok.Validate(); err != nil {
+		t.Errorf("baseline without BM entries: %v", err)
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	c := New(WiSync, 16).WithSeed(42)
+	if c.Seed != 42 {
+		t.Errorf("Seed = %d", c.Seed)
+	}
+}

@@ -1,0 +1,148 @@
+// Package core assembles the WiSync manycore — the paper's primary
+// contribution — and exposes the programming interface that workloads run
+// against.
+//
+// A Machine instantiates one of the four Table 2 configurations: the wired
+// substrate (mesh + MOESI hierarchy) is always present; WiSync
+// configurations add the wireless Data channel, the replicated Broadcast
+// Memory, and (for the full design) the Tone channel controller. Workloads
+// run as Threads, one per core, using plain cached memory operations and,
+// on WiSync machines, the BM instruction set of Section 3.2: Load, Store,
+// Bulk transfers, Test&Set, Fetch&Inc, Fetch&Add, CAS (with the WCB/AFB
+// retry protocol of Figure 4), and the tone_st/tone_ld pair.
+package core
+
+import (
+	"fmt"
+
+	"wisync/internal/bmem"
+	"wisync/internal/config"
+	"wisync/internal/mem"
+	"wisync/internal/noc"
+	"wisync/internal/sim"
+	"wisync/internal/tone"
+	"wisync/internal/wireless"
+)
+
+// Machine is one simulated manycore chip.
+type Machine struct {
+	Cfg  config.Config
+	Eng  *sim.Engine
+	Mesh *noc.Mesh
+	Mem  *mem.System
+	// Net, BM and Tone are nil on configurations without the respective
+	// hardware (Table 2).
+	Net  *wireless.Network
+	BM   *bmem.BM
+	Tone *tone.Controller
+
+	addrCursor uint64
+	threads    []*Thread
+}
+
+// NewMachine builds a machine for cfg. It panics on invalid configurations
+// (these are programming errors in the harness, not runtime conditions).
+func NewMachine(cfg config.Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	mesh := noc.New(cfg.Cores, cfg.HopLatency)
+	mp := mem.Params{
+		Cores:         cfg.Cores,
+		L1RT:          cfg.L1RT,
+		L2RT:          cfg.L2RT,
+		MemRT:         cfg.MemRT,
+		MemCtrlOcc:    cfg.MemCtrlOcc,
+		L1Sets:        cfg.L1Sets,
+		L1Ways:        cfg.L1Ways,
+		TreeBroadcast: cfg.Kind.TreeBroadcast(),
+	}
+	m := &Machine{
+		Cfg:  cfg,
+		Eng:  eng,
+		Mesh: mesh,
+		Mem:  mem.New(eng, mesh, mp),
+		// Reserve low addresses; workload variables start at 1 MB.
+		addrCursor: 1 << 20,
+	}
+	if cfg.Kind.HasBM() {
+		m.Net = wireless.New(eng, cfg.Cores, cfg.Wireless)
+		bp := bmem.DefaultParams()
+		bp.RT = cfg.BMRT
+		bp.Entries = cfg.BMEntries
+		m.BM = bmem.New(eng, m.Net, cfg.Cores, bp)
+	}
+	if cfg.Kind.HasTone() {
+		m.Tone = tone.New(eng, m.BM, m.Net, cfg.Tone)
+	}
+	return m
+}
+
+// AllocLine reserves one fresh cache line of regular memory and returns the
+// address of its first word. Separate calls never share a line, avoiding
+// accidental false sharing between synchronization variables.
+func (m *Machine) AllocLine() uint64 {
+	a := m.addrCursor
+	m.addrCursor += mem.LineBytes
+	return a
+}
+
+// AllocArray reserves a contiguous array of n 64-bit words and returns its
+// base address.
+func (m *Machine) AllocArray(n int) uint64 {
+	a := m.addrCursor
+	bytes := uint64(n) * 8
+	lines := (bytes + mem.LineBytes - 1) / mem.LineBytes
+	m.addrCursor += lines * mem.LineBytes
+	return a
+}
+
+// Spawn starts body as a thread pinned to the given core with the given
+// PID. Threads started before Run begin at cycle 0.
+func (m *Machine) Spawn(name string, core int, pid uint16, body func(*Thread)) *Thread {
+	if core < 0 || core >= m.Cfg.Cores {
+		panic(fmt.Sprintf("core: spawn on core %d of %d", core, m.Cfg.Cores))
+	}
+	t := &Thread{M: m, Core: core, PID: pid}
+	t.proc = m.Eng.Go(name, func(p *sim.Proc) {
+		t.proc = p
+		body(t)
+	})
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// SpawnAll starts one thread per core (cores 0..n-1, PID 1), the common
+// kernel pattern. body receives the thread; thread index == core index.
+func (m *Machine) SpawnAll(body func(*Thread)) {
+	for c := 0; c < m.Cfg.Cores; c++ {
+		c := c
+		m.Spawn(fmt.Sprintf("t%d", c), c, 1, body)
+	}
+}
+
+// Run executes the simulation to completion.
+func (m *Machine) Run() error { return m.Eng.Run() }
+
+// RunUntil executes the simulation up to cycle t and kills remaining
+// threads (used by open-ended throughput kernels).
+func (m *Machine) RunUntil(t sim.Time) error {
+	if err := m.Eng.RunUntil(t); err != nil {
+		return err
+	}
+	m.Eng.Shutdown()
+	return nil
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() sim.Time { return m.Eng.Now() }
+
+// DataChannelUtilization returns the fraction of cycles the wireless Data
+// channel has been busy so far (0 on wired configurations).
+func (m *Machine) DataChannelUtilization() float64 {
+	if m.Net == nil {
+		return 0
+	}
+	return m.Net.Stats.Utilization(m.Eng.Now())
+}

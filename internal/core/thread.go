@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+
+	"wisync/internal/sim"
+)
+
+// Thread is one software thread pinned to a core. Workload code runs in the
+// thread's simulation process and interacts with the machine exclusively
+// through Thread methods.
+//
+// Computation is charged lazily: Compute and Instr accumulate cycles that
+// are only slept when the thread next touches shared state. This keeps
+// event counts low for compute-heavy phases without changing observable
+// timing.
+type Thread struct {
+	M    *Machine
+	Core int
+	PID  uint16
+
+	proc    *sim.Proc
+	pending sim.Time
+}
+
+// Proc exposes the underlying simulation process.
+func (t *Thread) Proc() *sim.Proc { return t.proc }
+
+// Now returns the thread's local time: engine time plus unflushed compute.
+func (t *Thread) Now() sim.Time { return t.M.Eng.Now() + t.pending }
+
+// Compute charges n cycles of local computation.
+func (t *Thread) Compute(n int) {
+	if n > 0 {
+		t.pending += sim.Time(n)
+	}
+}
+
+// Instr charges n dynamic instructions on the 2-issue core (Table 1):
+// ceil(n/2) cycles.
+func (t *Thread) Instr(n int) {
+	if n > 0 {
+		t.pending += sim.Time((n + 1) / 2)
+	}
+}
+
+// Sync flushes pending compute so that Now() is architectural.
+func (t *Thread) Sync() { t.flush() }
+
+func (t *Thread) flush() {
+	if t.pending > 0 {
+		d := t.pending
+		t.pending = 0
+		t.proc.Sleep(d)
+	}
+}
+
+// ---- Regular cached memory (all configurations) ----
+
+// Read loads the 64-bit word at addr through the cache hierarchy.
+func (t *Thread) Read(addr uint64) uint64 {
+	t.flush()
+	return t.M.Mem.Read(t.proc, t.Core, addr)
+}
+
+// Write stores val to addr through the cache hierarchy.
+func (t *Thread) Write(addr uint64, val uint64) {
+	t.flush()
+	t.M.Mem.Write(t.proc, t.Core, addr, val)
+}
+
+// RMW performs an atomic read-modify-write on cached memory; f returns the
+// new value and whether to write. It returns the old value.
+func (t *Thread) RMW(addr uint64, f func(uint64) (uint64, bool)) uint64 {
+	t.flush()
+	return t.M.Mem.RMW(t.proc, t.Core, addr, f)
+}
+
+// CAS is compare-and-swap on cached memory.
+func (t *Thread) CAS(addr, old, nv uint64) bool {
+	return t.RMW(addr, func(cur uint64) (uint64, bool) { return nv, cur == old }) == old
+}
+
+// FetchAdd atomically adds delta to the word at addr, returning the old
+// value.
+func (t *Thread) FetchAdd(addr, delta uint64) uint64 {
+	return t.RMW(addr, func(cur uint64) (uint64, bool) { return cur + delta, true })
+}
+
+// Swap atomically exchanges the word at addr with val.
+func (t *Thread) Swap(addr, val uint64) uint64 {
+	return t.RMW(addr, func(uint64) (uint64, bool) { return val, true })
+}
+
+// SpinUntil spins on cached memory until cond holds (hardware-faithful:
+// local spinning, re-fetch on invalidation).
+func (t *Thread) SpinUntil(addr uint64, cond func(uint64) bool) uint64 {
+	t.flush()
+	return t.M.Mem.SpinUntil(t.proc, t.Core, addr, cond)
+}
+
+// ---- Broadcast Memory ISA (WiSync configurations) ----
+
+func (t *Thread) bm() {
+	if t.M.BM == nil {
+		panic("core: BM instruction on a configuration without Broadcast Memory")
+	}
+}
+
+func (t *Thread) must(err error) {
+	if err != nil {
+		// A protection or addressing fault kills the simulated program.
+		panic(err)
+	}
+}
+
+// BMLoad is a plain load from the local BM. Faults (PID mismatch,
+// unallocated address) terminate the simulated program; use TryBMLoad for
+// OS-style fault handling.
+func (t *Thread) BMLoad(addr uint32) uint64 {
+	v, err := t.TryBMLoad(addr)
+	t.must(err)
+	return v
+}
+
+// TryBMLoad is BMLoad returning faults as errors.
+func (t *Thread) TryBMLoad(addr uint32) (uint64, error) {
+	t.bm()
+	t.flush()
+	return t.M.BM.Load(t.proc, t.Core, t.PID, addr)
+}
+
+// BMStore broadcasts val to addr in every BM, blocking until the write
+// commits (WCB set).
+func (t *Thread) BMStore(addr uint32, val uint64) {
+	t.must(t.TryBMStore(addr, val))
+}
+
+// TryBMStore is BMStore returning faults as errors.
+func (t *Thread) TryBMStore(addr uint32, val uint64) error {
+	t.bm()
+	t.flush()
+	return t.M.BM.Store(t.proc, t.Core, t.PID, addr, val)
+}
+
+// BMBulkLoad loads four consecutive BM words (Bulk load instruction).
+func (t *Thread) BMBulkLoad(addr uint32) [4]uint64 {
+	t.bm()
+	t.flush()
+	v, err := t.M.BM.BulkLoad(t.proc, t.Core, t.PID, addr)
+	t.must(err)
+	return v
+}
+
+// BMBulkStore broadcasts four words in one 15-cycle message (Bulk store).
+func (t *Thread) BMBulkStore(addr uint32, vals [4]uint64) {
+	t.bm()
+	t.flush()
+	t.must(t.M.BM.BulkStore(t.proc, t.Core, t.PID, addr, vals))
+}
+
+// BMRMW1 is a single hardware RMW attempt (no retry): it returns the value
+// read and ok=false if atomicity failed (AFB set, nothing written).
+func (t *Thread) BMRMW1(addr uint32, f func(uint64) (uint64, bool)) (uint64, bool) {
+	t.bm()
+	t.flush()
+	old, ok, err := t.M.BM.RMW(t.proc, t.Core, t.PID, addr, f)
+	t.must(err)
+	return old, ok
+}
+
+// BMFetchAdd executes fetch&add with the Figure 4(a) retry protocol: the
+// RMW instruction is re-executed until AFB stays clear. It returns the
+// value before the add.
+func (t *Thread) BMFetchAdd(addr uint32, delta uint64) uint64 {
+	for {
+		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) { return cur + delta, true })
+		if ok {
+			return old
+		}
+		// AFB set: retry (a couple of pipeline cycles to check the
+		// register and branch back).
+		t.Instr(2)
+	}
+}
+
+// BMFetchInc is fetch&increment.
+func (t *Thread) BMFetchInc(addr uint32) uint64 { return t.BMFetchAdd(addr, 1) }
+
+// BMFetchAddF64 is the floating-point fetch&add the paper proposes for
+// scientific reductions (Section 4.3.5). The BM entry holds IEEE-754 bits;
+// the addition is applied atomically at the commit of the broadcast. It
+// returns the value before the add.
+func (t *Thread) BMFetchAddF64(addr uint32, delta float64) float64 {
+	for {
+		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
+			return math.Float64bits(math.Float64frombits(cur) + delta), true
+		})
+		if ok {
+			return math.Float64frombits(old)
+		}
+		t.Instr(2)
+	}
+}
+
+// BMTestAndSet sets addr to 1 and returns the previous value, retrying on
+// atomicity failure.
+func (t *Thread) BMTestAndSet(addr uint32) uint64 {
+	for {
+		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
+			if cur != 0 {
+				return cur, false // already set; read is enough
+			}
+			return 1, true
+		})
+		if ok {
+			return old
+		}
+		t.Instr(2)
+	}
+}
+
+// BMCAS executes compare-and-swap with the Figure 4(b) protocol: retried
+// while AFB is set; a comparison failure with AFB clear is a legitimate
+// CAS failure. It reports whether the swap was performed.
+func (t *Thread) BMCAS(addr uint32, old, nv uint64) bool {
+	for {
+		cur, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
+			return nv, cur == old
+		})
+		if ok {
+			return cur == old
+		}
+		t.Instr(2)
+	}
+}
+
+// BMSpinUntil spins on the local BM replica until cond holds. Spinning is
+// free of network traffic; the core is released within a BM round trip of
+// the commit that satisfies cond.
+func (t *Thread) BMSpinUntil(addr uint32, cond func(uint64) bool) uint64 {
+	t.bm()
+	t.flush()
+	v, err := t.M.BM.SpinUntil(t.proc, t.Core, t.PID, addr, cond)
+	t.must(err)
+	return v
+}
+
+// ---- Tone channel ISA (full WiSync only) ----
+
+func (t *Thread) toneHW() {
+	if t.M.Tone == nil {
+		panic("core: tone instruction on a configuration without the Tone channel")
+	}
+}
+
+// ToneStore is tone_st: announce arrival at the tone barrier at addr.
+func (t *Thread) ToneStore(addr uint32) {
+	t.toneHW()
+	t.flush()
+	t.must(t.M.Tone.ToneStore(t.proc, t.Core, t.PID, addr))
+}
+
+// ToneLoad is tone_ld: read the barrier variable from the local BM.
+func (t *Thread) ToneLoad(addr uint32) uint64 {
+	t.toneHW()
+	t.flush()
+	v, err := t.M.Tone.ToneLoad(t.proc, t.Core, t.PID, addr)
+	t.must(err)
+	return v
+}
+
+// ToneWait spins with tone_ld until the barrier variable equals want.
+func (t *Thread) ToneWait(addr uint32, want uint64) {
+	t.toneHW()
+	t.flush()
+	_, err := t.M.Tone.WaitToggle(t.proc, t.Core, t.PID, addr, want)
+	t.must(err)
+}
+
+// AFB returns the thread's Atomicity Failure Bit.
+func (t *Thread) AFB() bool {
+	t.bm()
+	return t.M.BM.AFB(t.Core)
+}
+
+// WCB returns the thread's Write Completion Bit.
+func (t *Thread) WCB() bool {
+	t.bm()
+	return t.M.BM.WCB(t.Core)
+}

@@ -1,0 +1,327 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 7). Each function prints the same rows or series the
+// paper reports and returns the data for programmatic checks. The cmd/
+// wisync-bench tool and the repository's benchmark suite are thin wrappers
+// around this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"wisync/internal/apps"
+	"wisync/internal/config"
+	"wisync/internal/kernels"
+	"wisync/internal/rfmodel"
+	"wisync/internal/sim"
+	"wisync/internal/stats"
+)
+
+// Options controls sweep sizes and output.
+type Options struct {
+	// Quick shrinks the sweeps for fast iteration (CI, go test -short).
+	Quick bool
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// Table4 reproduces Table 4: area and power of the transceiver plus two
+// antennas against two reference cores at 22 nm.
+func Table4(o Options) []rfmodel.Table4Row {
+	rows := rfmodel.Table4()
+	tb := stats.NewTable("Table 4: transceiver + 2 antennas (T+2A) vs cores at 22nm",
+		"core", "core area mm2", "T+2A area mm2", "area %", "core TDP W", "T+2A mW", "power %")
+	for _, r := range rows {
+		tb.AddRow(r.Core.Name, r.Core.AreaMM2, fmt.Sprintf("%.2f", r.TxAreaMM2),
+			fmt.Sprintf("%.1f", r.AreaPct), r.Core.TDPW,
+			fmt.Sprintf("%.0f", r.TxPowerMW), fmt.Sprintf("%.1f", r.PowerPct))
+	}
+	fmt.Fprintln(o.out(), tb)
+	return rows
+}
+
+// Fig7Row is one (core count, configuration) point of Figure 7.
+type Fig7Row struct {
+	Cores         int
+	Kind          config.Kind
+	CyclesPerIter float64
+}
+
+// Fig7 reproduces Figure 7: TightLoop cycles/iteration on all four
+// configurations across core counts.
+func Fig7(o Options) []Fig7Row {
+	coreCounts := []int{16, 32, 64, 128, 256}
+	iters := 25
+	if o.Quick {
+		coreCounts = []int{16, 64, 128}
+		iters = 10
+	}
+	var rows []Fig7Row
+	tb := stats.NewTable("Figure 7: TightLoop execution time (cycles/iteration)",
+		"cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
+	for _, n := range coreCounts {
+		vals := make(map[config.Kind]float64, 4)
+		for _, k := range config.Kinds {
+			r := kernels.TightLoop(config.New(k, n), iters)
+			vals[k] = r.CyclesPerIteration()
+			rows = append(rows, Fig7Row{Cores: n, Kind: k, CyclesPerIter: vals[k]})
+		}
+		tb.AddRow(n, f0(vals[config.Baseline]), f0(vals[config.BaselinePlus]),
+			f0(vals[config.WiSyncNoT]), f0(vals[config.WiSync]))
+	}
+	fmt.Fprintln(o.out(), tb)
+	return rows
+}
+
+// Fig8Row is one (loop, cores, vector length, configuration) point of
+// Figure 8.
+type Fig8Row struct {
+	Loop   int
+	Cores  int
+	Length int
+	Kind   config.Kind
+	Cycles sim.Time
+}
+
+// Fig8 reproduces Figure 8: Livermore loops 2, 3 and 6 execution time
+// versus vector length at 64 and 128 cores.
+func Fig8(o Options) []Fig8Row {
+	lens23 := []int{16, 64, 256, 1024, 4096, 16384}
+	lens6 := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	coreCounts := []int{64, 128}
+	passes := 2
+	if o.Quick {
+		lens23 = []int{16, 256, 4096}
+		lens6 = []int{16, 128, 512}
+		coreCounts = []int{64}
+		passes = 1
+	}
+	var rows []Fig8Row
+	run := func(loop int, cores int, lens []int) {
+		tb := stats.NewTable(
+			fmt.Sprintf("Figure 8: Livermore loop %d, %d cores (cycles)", loop, cores),
+			"length", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
+		for _, n := range lens {
+			vals := make(map[config.Kind]sim.Time, 4)
+			for _, k := range config.Kinds {
+				cfg := config.New(k, cores)
+				var r kernels.Result
+				switch loop {
+				case 2:
+					r, _ = kernels.Livermore2(cfg, n, passes)
+				case 3:
+					r, _ = kernels.Livermore3(cfg, n, passes)
+				case 6:
+					r, _ = kernels.Livermore6(cfg, n)
+				}
+				vals[k] = r.Cycles
+				rows = append(rows, Fig8Row{Loop: loop, Cores: cores, Length: n, Kind: k, Cycles: r.Cycles})
+			}
+			tb.AddRow(n, vals[config.Baseline], vals[config.BaselinePlus],
+				vals[config.WiSyncNoT], vals[config.WiSync])
+		}
+		fmt.Fprintln(o.out(), tb)
+	}
+	for _, cores := range coreCounts {
+		run(2, cores, lens23)
+		run(3, cores, lens23)
+		run(6, cores, lens6)
+	}
+	return rows
+}
+
+// Fig9Row is one (kernel, cores, critical-section size, configuration)
+// point of Figure 9.
+type Fig9Row struct {
+	Kernel  kernels.CASKind
+	Cores   int
+	CSInstr int
+	Kind    config.Kind
+	Per1000 float64
+}
+
+// Fig9 reproduces Figure 9: successful-CAS throughput of the FIFO, LIFO
+// and ADD kernels versus critical-section size, Baseline versus WiSync, at
+// 64 and 128 cores.
+func Fig9(o Options) []Fig9Row {
+	sizes := []int{65536, 16384, 4096, 1024, 256, 64, 16, 4}
+	coreCounts := []int{64, 128}
+	duration := sim.Time(300000)
+	if o.Quick {
+		sizes = []int{16384, 1024, 16}
+		coreCounts = []int{64}
+		duration = 60000
+	}
+	kinds := []config.Kind{config.Baseline, config.WiSync}
+	var rows []Fig9Row
+	for _, cores := range coreCounts {
+		for _, kn := range []kernels.CASKind{kernels.FIFO, kernels.LIFO, kernels.ADD} {
+			tb := stats.NewTable(
+				fmt.Sprintf("Figure 9: %v CAS throughput per 1000 cycles, %d cores", kn, cores),
+				"cs instr", "Baseline", "WiSync")
+			for _, cs := range sizes {
+				vals := make(map[config.Kind]float64, 2)
+				for _, k := range kinds {
+					r := kernels.CASKernel(config.New(k, cores), kn, cs, duration)
+					vals[k] = r.Per1000
+					rows = append(rows, Fig9Row{Kernel: kn, Cores: cores, CSInstr: cs, Kind: k, Per1000: r.Per1000})
+				}
+				tb.AddRow(cs, f2(vals[config.Baseline]), f2(vals[config.WiSync]))
+			}
+			fmt.Fprintln(o.out(), tb)
+		}
+	}
+	return rows
+}
+
+// AppRow is one application's Figure 10 / Table 5 data.
+type AppRow struct {
+	Name     string
+	Speedup  map[config.Kind]float64
+	UtilWNoT float64 // Data-channel utilization %, WiSyncNoT
+	UtilW    float64 // Data-channel utilization %, WiSync
+}
+
+// Fig10 reproduces Figure 10 (speedups over Baseline on the PARSEC and
+// SPLASH-2 suites at 64 cores) and collects the Table 5 utilizations from
+// the same runs.
+func Fig10(o Options) []AppRow {
+	base := config.New(config.Baseline, 64)
+	profiles := apps.Profiles()
+	if o.Quick {
+		profiles = profiles[:0:0]
+		for _, name := range []string{"blackscholes", "streamcluster", "dedup",
+			"ocean-c", "radiosity", "raytrace", "water-ns", "fft"} {
+			p, _ := apps.ByName(name)
+			p.Iterations = 4
+			profiles = append(profiles, p)
+		}
+	}
+	var rows []AppRow
+	tb := stats.NewTable("Figure 10: speedup over Baseline, 64 cores",
+		"app", "Baseline+", "WiSyncNoT", "WiSync")
+	var bp, wnt, w []float64
+	for _, p := range profiles {
+		row := AppRow{Name: p.Name, Speedup: map[config.Kind]float64{config.Baseline: 1}}
+		baseline := apps.Run(base, p)
+		for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
+			cfg := base
+			cfg.Kind = k
+			r := apps.Run(cfg, p)
+			row.Speedup[k] = float64(baseline.Cycles) / float64(r.Cycles)
+			switch k {
+			case config.WiSyncNoT:
+				row.UtilWNoT = r.DataUtilPct
+			case config.WiSync:
+				row.UtilW = r.DataUtilPct
+			}
+		}
+		rows = append(rows, row)
+		bp = append(bp, row.Speedup[config.BaselinePlus])
+		wnt = append(wnt, row.Speedup[config.WiSyncNoT])
+		w = append(w, row.Speedup[config.WiSync])
+		tb.AddRow(p.Name, f2(row.Speedup[config.BaselinePlus]),
+			f2(row.Speedup[config.WiSyncNoT]), f2(row.Speedup[config.WiSync]))
+	}
+	tb.AddRow("mean", f2(stats.Mean(bp)), f2(stats.Mean(wnt)), f2(stats.Mean(w)))
+	tb.AddRow("geoMean", f2(stats.GeoMean(bp)), f2(stats.GeoMean(wnt)), f2(stats.GeoMean(w)))
+	fmt.Fprintln(o.out(), tb)
+	return rows
+}
+
+// Table5 reproduces Table 5: Data-channel utilization of WiSyncNoT and
+// WiSync for the most demanding applications plus the geometric mean over
+// the whole suite. It reuses Fig10's runs.
+func Table5(o Options, rows []AppRow) {
+	if rows == nil {
+		silent := o
+		silent.Out = nil
+		rows = Fig10(silent)
+	}
+	demanding := []string{"streamcluster", "radiosity", "water-ns",
+		"fluidanimate", "raytrace", "ocean-c", "ocean-nc"}
+	tb := stats.NewTable("Table 5: Data channel utilization (% of cycles)",
+		"app", "WiSyncNoT", "WiSync")
+	for _, name := range demanding {
+		for _, r := range rows {
+			if r.Name == name {
+				tb.AddRow(name, f2(r.UtilWNoT), f2(r.UtilW))
+			}
+		}
+	}
+	var wt, w []float64
+	for _, r := range rows {
+		// Geometric mean over nonzero values (zero utilization enters
+		// as a small epsilon, as a log-scale mean requires).
+		wt = append(wt, r.UtilWNoT+0.005)
+		w = append(w, r.UtilW+0.005)
+	}
+	tb.AddRow("GM(all)", f2(stats.GeoMean(wt)), f2(stats.GeoMean(w)))
+	fmt.Fprintln(o.out(), tb)
+}
+
+// Fig11Row is one sensitivity point: geomean speedup over Baseline under a
+// Table 6 variant.
+type Fig11Row struct {
+	Variant config.Variant
+	Kind    config.Kind
+	GeoMean float64
+}
+
+// Fig11 reproduces Figure 11: geometric-mean application speedups over
+// Baseline under the Table 6 memory and network variants, 64 cores.
+func Fig11(o Options) []Fig11Row {
+	profiles := apps.Profiles()
+	if o.Quick {
+		profiles = profiles[:0:0]
+		for _, name := range []string{"streamcluster", "ocean-c", "radiosity", "fft", "blackscholes"} {
+			p, _ := apps.ByName(name)
+			p.Iterations = 3
+			profiles = append(profiles, p)
+		}
+	}
+	var rows []Fig11Row
+	tb := stats.NewTable("Figure 11: geomean speedup over Baseline by variant, 64 cores",
+		"variant", "Baseline+", "WiSyncNoT", "WiSync")
+	for _, v := range config.Variants {
+		acc := map[config.Kind][]float64{}
+		for _, p := range profiles {
+			base := config.New(config.Baseline, 64).WithVariant(v)
+			baseline := apps.Run(base, p)
+			for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
+				cfg := base
+				cfg.Kind = k
+				r := apps.Run(cfg, p)
+				acc[k] = append(acc[k], float64(baseline.Cycles)/float64(r.Cycles))
+			}
+		}
+		for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
+			rows = append(rows, Fig11Row{Variant: v, Kind: k, GeoMean: stats.GeoMean(acc[k])})
+		}
+		tb.AddRow(v.String(), f2(stats.GeoMean(acc[config.BaselinePlus])),
+			f2(stats.GeoMean(acc[config.WiSyncNoT])), f2(stats.GeoMean(acc[config.WiSync])))
+	}
+	fmt.Fprintln(o.out(), tb)
+	return rows
+}
+
+// All regenerates every table and figure in paper order.
+func All(o Options) {
+	Table4(o)
+	Fig7(o)
+	Fig8(o)
+	Fig9(o)
+	rows := Fig10(o)
+	Table5(o, rows)
+	Fig11(o)
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/kernels"
+)
+
+func quick() Options { return Options{Quick: true} }
+
+func TestTable4MatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	rows := Table4(Options{Out: &sb})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	xeon, atom := rows[0], rows[1]
+	// Paper: 0.7% / 0.4% for Xeon, 5.6% / 1.8% for Atom.
+	within := func(got, want, tol float64) bool { return got > want-tol && got < want+tol }
+	if !within(xeon.AreaPct, 0.7, 0.15) || !within(xeon.PowerPct, 0.4, 0.1) {
+		t.Errorf("Xeon row = %.2f%% area, %.2f%% power; paper 0.7/0.4", xeon.AreaPct, xeon.PowerPct)
+	}
+	if !within(atom.AreaPct, 5.6, 0.5) || !within(atom.PowerPct, 1.8, 0.3) {
+		t.Errorf("Atom row = %.2f%% area, %.2f%% power; paper 5.6/1.8", atom.AreaPct, atom.PowerPct)
+	}
+	if !strings.Contains(sb.String(), "Table 4") {
+		t.Error("output missing table title")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows := Fig7(quick())
+	get := func(cores int, k config.Kind) float64 {
+		for _, r := range rows {
+			if r.Cores == cores && r.Kind == k {
+				return r.CyclesPerIter
+			}
+		}
+		t.Fatalf("missing row %d/%v", cores, k)
+		return 0
+	}
+	for _, cores := range []int{16, 64, 128} {
+		w, wnt := get(cores, config.WiSync), get(cores, config.WiSyncNoT)
+		bp, b := get(cores, config.BaselinePlus), get(cores, config.Baseline)
+		if !(w < wnt && wnt < bp && bp < b) {
+			t.Errorf("%d cores: ordering violated: W %.0f WNT %.0f B+ %.0f B %.0f", cores, w, wnt, bp, b)
+		}
+	}
+	// WiSync stays nearly flat with core count; Baseline grows steeply.
+	if get(128, config.WiSync) > 4*get(16, config.WiSync) {
+		t.Errorf("WiSync not flat: %0.f at 16 cores vs %.0f at 128",
+			get(16, config.WiSync), get(128, config.WiSync))
+	}
+	if get(128, config.Baseline) < 3*get(16, config.Baseline) {
+		t.Errorf("Baseline does not degrade with cores: %.0f at 16 vs %.0f at 128",
+			get(16, config.Baseline), get(128, config.Baseline))
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows := Fig8(quick())
+	get := func(loop, length int, k config.Kind) float64 {
+		for _, r := range rows {
+			if r.Loop == loop && r.Length == length && r.Cores == 64 && r.Kind == k {
+				return float64(r.Cycles)
+			}
+		}
+		t.Fatalf("missing row loop%d n=%d %v", loop, length, k)
+		return 0
+	}
+	for _, loop := range []int{2, 3} {
+		// Gains are largest at small vectors and shrink as n grows.
+		smallAdv := get(loop, 16, config.Baseline) / get(loop, 16, config.WiSync)
+		largeAdv := get(loop, 4096, config.Baseline) / get(loop, 4096, config.WiSync)
+		if smallAdv < 3 {
+			t.Errorf("loop %d: small-vector advantage %.1fx, want large", loop, smallAdv)
+		}
+		if largeAdv >= smallAdv {
+			t.Errorf("loop %d: advantage did not shrink with n (%.1f -> %.1f)", loop, smallAdv, largeAdv)
+		}
+	}
+	// Loop 6 at growing n: Baseline+ approaches WiSync.
+	gap := func(n int) float64 { return get(6, n, config.BaselinePlus) / get(6, n, config.WiSync) }
+	if gap(512) >= gap(16) {
+		t.Errorf("loop 6: Baseline+/WiSync gap did not shrink: %.2f -> %.2f", gap(16), gap(512))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := Fig9(quick())
+	get := func(kn kernels.CASKind, cs int, k config.Kind) float64 {
+		for _, r := range rows {
+			if r.Kernel == kn && r.CSInstr == cs && r.Kind == k {
+				return r.Per1000
+			}
+		}
+		t.Fatalf("missing row %v cs=%d %v", kn, cs, k)
+		return 0
+	}
+	for _, kn := range []kernels.CASKind{kernels.FIFO, kernels.LIFO, kernels.ADD} {
+		// Near parity at 16K instructions; ~10x at high contention.
+		parity := get(kn, 16384, config.WiSync) / get(kn, 16384, config.Baseline)
+		contended := get(kn, 16, config.WiSync) / get(kn, 16, config.Baseline)
+		if parity > 3 {
+			t.Errorf("%v: WiSync/Baseline at 16K = %.1fx, want near parity", kn, parity)
+		}
+		if contended < 4 {
+			t.Errorf("%v: WiSync/Baseline at 16 instr = %.1fx, want >= 4x", kn, contended)
+		}
+		if contended <= parity {
+			t.Errorf("%v: gap did not grow with contention (%.1f -> %.1f)", kn, parity, contended)
+		}
+	}
+}
+
+func TestFig10AndTable5Shape(t *testing.T) {
+	rows := Fig10(quick())
+	byName := map[string]AppRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	sc := byName["streamcluster"]
+	if sc.Speedup[config.WiSync] < 3 {
+		t.Errorf("streamcluster WiSync speedup %.2f, want ~6", sc.Speedup[config.WiSync])
+	}
+	if sc.UtilW > sc.UtilWNoT/2 {
+		t.Errorf("streamcluster: tone did not offload Data channel (%.2f vs %.2f)",
+			sc.UtilW, sc.UtilWNoT)
+	}
+	bs := byName["blackscholes"]
+	if bs.Speedup[config.WiSync] > 1.15 {
+		t.Errorf("blackscholes speedup %.2f, want ~1.0", bs.Speedup[config.WiSync])
+	}
+	var sb strings.Builder
+	Table5(Options{Out: &sb}, rows)
+	if !strings.Contains(sb.String(), "streamcluster") {
+		t.Error("Table 5 output missing streamcluster row")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows := Fig11(quick())
+	get := func(v config.Variant, k config.Kind) float64 {
+		for _, r := range rows {
+			if r.Variant == v && r.Kind == k {
+				return r.GeoMean
+			}
+		}
+		t.Fatalf("missing row %v %v", v, k)
+		return 0
+	}
+	// Paper: WiSync speedups rise with a slower NoC and fall with a
+	// faster one; BM latency is marginal.
+	def := get(config.Default, config.WiSync)
+	if get(config.SlowNet, config.WiSync) <= def {
+		t.Errorf("SlowNet did not increase WiSync speedup: %.3f vs %.3f",
+			get(config.SlowNet, config.WiSync), def)
+	}
+	if get(config.FastNet, config.WiSync) >= def {
+		t.Errorf("FastNet did not decrease WiSync speedup: %.3f vs %.3f",
+			get(config.FastNet, config.WiSync), def)
+	}
+	slowBM := get(config.SlowBMEM, config.WiSync)
+	if slowBM < 0.9*def || slowBM > 1.1*def {
+		t.Errorf("SlowBMEM moved WiSync speedup too much: %.3f vs %.3f", slowBM, def)
+	}
+}

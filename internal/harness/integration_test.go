@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/sim"
+	"wisync/internal/syncprims"
+)
+
+// TestKitchenSink runs every synchronization primitive concurrently on
+// every machine configuration — locks and barriers interleaved with
+// reductions, eurekas, producer-consumer traffic and shared-memory reads —
+// and checks functional outcomes plus the coherence invariants afterwards.
+// This is the system's widest single integration point.
+func TestKitchenSink(t *testing.T) {
+	const cores, rounds = 32, 4
+	for _, kind := range config.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			m := core.NewMachine(config.New(kind, cores))
+			f := syncprims.NewFactory(m)
+			barrier := f.NewBarrier(nil)
+			lock := f.NewLock()
+			red := f.NewReducer(0)
+			eur := f.NewEureka()
+			pc := f.NewPC(1)
+			counter := f.NewVar(0)
+			sharedBase := m.AllocArray(256)
+
+			var inCS, maxCS int
+			var consumed []uint64
+			m.SpawnAll(func(th *core.Thread) {
+				rng := sim.NewRand(uint64(th.Core) + 1234)
+				for r := 0; r < rounds; r++ {
+					th.Compute(rng.Intn(300))
+					// Background coherence traffic.
+					for i := 0; i < 4; i++ {
+						th.Read(sharedBase + uint64(rng.Intn(256)*8))
+					}
+					// Mutual exclusion.
+					lock.Acquire(th)
+					inCS++
+					if inCS > maxCS {
+						maxCS = inCS
+					}
+					th.Compute(15)
+					th.Sync()
+					inCS--
+					lock.Release(th)
+					// Reduction and lock-free updates.
+					red.Add(th, 1)
+					for !counter.CAS(th, counter.Load(th), counter.Load(th)+1) {
+						th.Instr(8)
+					}
+					// Producer-consumer across two fixed cores.
+					if th.Core == 0 {
+						pc.Produce(th, []uint64{uint64(r + 1)})
+					}
+					if th.Core == cores-1 {
+						buf := make([]uint64, 1)
+						pc.Consume(th, buf)
+						consumed = append(consumed, buf[0])
+					}
+					// One thread triggers the eureka each round; all ack.
+					if th.Core == r%cores {
+						eur.Trigger(th)
+					} else {
+						eur.WaitTriggered(th)
+					}
+					eur.Ack(th)
+					barrier.Wait(th)
+				}
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if maxCS != 1 {
+				t.Errorf("mutual exclusion violated: %d threads in CS", maxCS)
+			}
+			var redVal uint64
+			m.Spawn("check", 0, 1, func(th *core.Thread) { redVal = red.Value(th) })
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(cores * rounds); redVal != want {
+				t.Errorf("reduction = %d, want %d", redVal, want)
+			}
+			if len(consumed) != rounds {
+				t.Fatalf("consumed %d items, want %d", len(consumed), rounds)
+			}
+			for i, v := range consumed {
+				if v != uint64(i+1) {
+					t.Errorf("consumed[%d] = %d, want %d", i, v, i+1)
+				}
+			}
+			if err := m.Mem.CheckInvariants(); err != nil {
+				t.Errorf("coherence invariants after kitchen sink: %v", err)
+			}
+		})
+	}
+}
+
+// TestKitchenSinkDeterministic re-runs one configuration and requires
+// bit-identical end times: the whole stack, including backoff randomness
+// and workload jitter, must be reproducible.
+func TestKitchenSinkDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := core.NewMachine(config.New(config.WiSync, 16))
+		f := syncprims.NewFactory(m)
+		b := f.NewBarrier(nil)
+		l := f.NewLock()
+		red := f.NewReducer(0)
+		m.SpawnAll(func(th *core.Thread) {
+			rng := sim.NewRand(uint64(th.Core) * 7)
+			for r := 0; r < 5; r++ {
+				th.Compute(rng.Intn(200))
+				l.Acquire(th)
+				th.Compute(10)
+				l.Release(th)
+				red.Add(th, 1)
+				b.Wait(th)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestAllCoreCountsAllKinds smoke-tests every paper core count on every
+// configuration with a small barrier loop — the full cross product the
+// evaluation sweeps.
+func TestAllCoreCountsAllKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product sweep")
+	}
+	for _, cores := range []int{16, 32, 64, 128, 256} {
+		for _, kind := range config.Kinds {
+			cores, kind := cores, kind
+			t.Run(fmt.Sprintf("%s-%d", kind, cores), func(t *testing.T) {
+				m := core.NewMachine(config.New(kind, cores))
+				b := syncprims.NewFactory(m).NewBarrier(nil)
+				done := 0
+				m.SpawnAll(func(th *core.Thread) {
+					for e := 0; e < 2; e++ {
+						th.Compute(th.Core % 17)
+						b.Wait(th)
+					}
+					done++
+				})
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if done != cores {
+					t.Errorf("done = %d, want %d", done, cores)
+				}
+			})
+		}
+	}
+}

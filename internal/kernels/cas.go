@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"fmt"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/sim"
+	"wisync/internal/syncprims"
+)
+
+// CASKind selects one of the lock-free CAS kernels of Table 3.
+type CASKind int
+
+// CAS kernel kinds.
+const (
+	// FIFO enqueues and dequeues nodes from a shared queue: CASes split
+	// between a head and a tail pointer.
+	FIFO CASKind = iota
+	// LIFO pushes and pops a shared stack: all CASes target the top
+	// pointer.
+	LIFO
+	// ADD only inserts nodes taken from private pools: all CASes target
+	// the tail pointer.
+	ADD
+)
+
+func (k CASKind) String() string {
+	switch k {
+	case FIFO:
+		return "FIFO"
+	case LIFO:
+		return "LIFO"
+	case ADD:
+		return "ADD"
+	}
+	return fmt.Sprintf("CASKind(%d)", int(k))
+}
+
+// CASResult reports a CAS kernel execution.
+type CASResult struct {
+	Cfg       config.Config
+	Kind      CASKind
+	Duration  sim.Time
+	Successes uint64
+	Failures  uint64
+	// Per1000 is the Figure 9 metric: successful CASes per 1000 cycles.
+	Per1000 float64
+}
+
+func (r CASResult) String() string {
+	return fmt.Sprintf("%s/%s/%d cores: %.2f CAS/1000cyc (%d ok, %d failed)",
+		r.Kind, r.Cfg.Kind, r.Cfg.Cores, r.Per1000, r.Successes, r.Failures)
+}
+
+// CASKernel runs one of the lock-free kernels for the given duration:
+// every thread executes csInstr instructions of private work between
+// operations on the shared structure, each operation being a load of the
+// shared pointer, a couple of private node updates, and a CAS retried until
+// it succeeds (Section 6). Figure 9 compares Baseline and WiSync only —
+// the kernels use no locks or barriers, so the other configurations are
+// redundant — but any configuration can be passed.
+func CASKernel(cfg config.Config, kind CASKind, csInstr int, duration sim.Time) CASResult {
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	// Shared pointers. FIFO has distinct head and tail; LIFO and ADD hit
+	// a single word.
+	vars := []syncprims.Var{f.NewVar(1)}
+	if kind == FIFO {
+		vars = append(vars, f.NewVar(1))
+	}
+	// Per-thread private node lines (pool updates touch own cache).
+	nodeLines := make([]uint64, cfg.Cores)
+	for i := range nodeLines {
+		nodeLines[i] = m.AllocLine()
+	}
+	var successes, failures uint64
+	m.SpawnAll(func(t *core.Thread) {
+		rng := sim.NewRand(uint64(t.Core)*2654435761 + cfg.Seed + uint64(kind)*7919)
+		// Stagger thread starts across one work period and jitter each
+		// period by +-12%, or the threads arrive at the shared pointer
+		// in lockstep convoys that no real system exhibits.
+		t.Instr(rng.Intn(csInstr + 1))
+		op := 0
+		for {
+			t.Instr(csInstr - csInstr/8 + rng.Intn(csInstr/4+1))
+			// Pick the target pointer: FIFO alternates enqueue
+			// (tail) and dequeue (head); LIFO/ADD use one pointer.
+			v := vars[0]
+			if kind == FIFO && op%2 == 1 {
+				v = vars[1]
+			}
+			op++
+			// Prepare the private node. ADD builds a full node from
+			// the pool each time; LIFO's pop half and FIFO's dequeue
+			// half touch less private state.
+			t.Write(nodeLines[t.Core], rng.Uint64())
+			switch {
+			case kind == ADD:
+				t.Instr(8)
+			case op%2 == 1:
+				t.Instr(2)
+			default:
+				t.Instr(4)
+			}
+			// Lock-free update loop with standard exponential backoff
+			// on failure. Without backoff a deep retry queue is a
+			// stable congestion attractor: every queued CAS is stale
+			// by the time it is granted, and throughput collapses to
+			// one success per queue rotation.
+			backoff := 8
+			for {
+				old := v.Load(t)
+				if v.CAS(t, old, old+1) {
+					successes++
+					break
+				}
+				failures++
+				t.Instr(backoff + rng.Intn(backoff))
+				if backoff < 2048 {
+					backoff *= 2
+				}
+			}
+		}
+	})
+	if err := m.RunUntil(duration); err != nil {
+		panic(err)
+	}
+	return CASResult{
+		Cfg:       cfg,
+		Kind:      kind,
+		Duration:  duration,
+		Successes: successes,
+		Failures:  failures,
+		Per1000:   1000 * float64(successes) / float64(duration),
+	}
+}

@@ -1,0 +1,31 @@
+package kernels
+
+import (
+	"testing"
+
+	"wisync/internal/config"
+)
+
+// TestCASBaselineScalesWithDemand pins the Baseline demand-limited regime:
+// at a large critical section the offered load scales linearly with cores
+// until the hot line saturates, and the uncontended cases match demand
+// exactly. This guards against reintroducing the retry-queue congestion
+// collapse (see the backoff note in CASKernel).
+func TestCASBaselineScalesWithDemand(t *testing.T) {
+	get := func(cores int) float64 {
+		return CASKernel(config.New(config.Baseline, cores), ADD, 16384, 200000).Per1000
+	}
+	demandPerCore := 1000.0 / (16384.0 / 2)
+	one, four, sixtyFour := get(1), get(4), get(64)
+	t.Logf("per1000: 1 core %.2f, 4 cores %.2f, 64 cores %.2f (demand/core %.3f)",
+		one, four, sixtyFour, demandPerCore)
+	if one < 0.8*demandPerCore || one > 1.2*demandPerCore {
+		t.Errorf("1 core: %.2f, want ~%.2f", one, demandPerCore)
+	}
+	if four < 0.8*4*demandPerCore || four > 1.2*4*demandPerCore {
+		t.Errorf("4 cores: %.2f, want ~%.2f", four, 4*demandPerCore)
+	}
+	if sixtyFour < 0.6*64*demandPerCore {
+		t.Errorf("64 cores: %.2f, collapsed well below demand %.2f", sixtyFour, 64*demandPerCore)
+	}
+}

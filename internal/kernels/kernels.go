@@ -1,0 +1,116 @@
+// Package kernels implements the synchronization-intensive kernels of the
+// paper's evaluation (Table 3): the TightLoop barrier microbenchmark,
+// Livermore loops 2, 3 and 6 [30] parallelized with barrier phases per
+// Sampson et al. [37], and the FIFO/LIFO/ADD lock-free CAS kernels.
+//
+// The kernels are timing-directed with a functional mirror: array values
+// live in ordinary Go slices (validated against sequential references in
+// tests), while every array traversal charges real cache-line accesses
+// through the simulated MOESI hierarchy and every synchronization operation
+// runs on the real primitives of package syncprims. One simulated thread
+// runs per core.
+package kernels
+
+import (
+	"fmt"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/mem"
+	"wisync/internal/sim"
+	"wisync/internal/syncprims"
+)
+
+// Result reports one kernel execution.
+type Result struct {
+	Cfg        config.Config
+	Cycles     sim.Time
+	Iterations int
+	// DataChannelUtil is the wireless Data channel utilization (0 for
+	// wired configurations).
+	DataChannelUtil float64
+}
+
+// CyclesPerIteration returns the average iteration time.
+func (r Result) CyclesPerIteration() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Iterations)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%d cores: %d cycles, %.0f cycles/iter",
+		r.Cfg.Kind, r.Cfg.Cores, r.Cycles, r.CyclesPerIteration())
+}
+
+// wordsPerLine is how many 64-bit elements share a cache line.
+const wordsPerLine = mem.LineBytes / 8
+
+// readRange charges cache accesses for a sequential sweep over elements
+// [lo, hi) of the array starting at base, plus instrs per element of
+// computation.
+func readRange(t *core.Thread, base uint64, lo, hi, instrsPerElem int) {
+	if hi <= lo {
+		return
+	}
+	firstLine := base + uint64(lo)*8
+	lastLine := base + uint64(hi-1)*8
+	for a := firstLine &^ (mem.LineBytes - 1); a <= lastLine; a += mem.LineBytes {
+		t.Read(a)
+	}
+	t.Instr((hi - lo) * instrsPerElem)
+}
+
+// TightLoop runs the paper's TightLoop kernel (Section 6): every thread
+// sums a 50-element private array into a local variable, then synchronizes
+// at a global barrier, repeated iters times. It reports cycles/iteration —
+// the Figure 7 metric.
+func TightLoop(cfg config.Config, iters int) Result {
+	const elems = 50
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	b := f.NewBarrier(nil)
+	// Per-thread private arrays on distinct lines.
+	arrays := make([]uint64, cfg.Cores)
+	for i := range arrays {
+		arrays[i] = m.AllocArray(elems)
+	}
+	m.SpawnAll(func(t *core.Thread) {
+		for it := 0; it < iters; it++ {
+			// Sum the private array: 2 instructions (load+add) per
+			// element on the 2-issue core, one line fetch per 8
+			// elements (L1 hits after the first iteration).
+			readRange(t, arrays[t.Core], 0, elems, 2)
+			b.Wait(t)
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return Result{
+		Cfg:             cfg,
+		Cycles:          m.Now(),
+		Iterations:      iters,
+		DataChannelUtil: m.DataChannelUtilization(),
+	}
+}
+
+// chunk returns the [lo, hi) slice of an n-element range assigned to
+// worker w of p workers.
+func chunk(n, w, p int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

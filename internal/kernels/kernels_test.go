@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"wisync/internal/config"
+)
+
+func TestTightLoopRunsOnAllKinds(t *testing.T) {
+	for _, k := range config.Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			r := TightLoop(config.New(k, 16), 3)
+			if r.Iterations != 3 || r.Cycles == 0 {
+				t.Fatalf("result = %+v", r)
+			}
+			if r.CyclesPerIteration() < 20 {
+				t.Errorf("cycles/iter = %.0f, implausibly low", r.CyclesPerIteration())
+			}
+		})
+	}
+}
+
+func TestTightLoopOrderingAt64(t *testing.T) {
+	// 25 iterations amortize the cold-start misses the way the paper's
+	// steady-state measurement does.
+	per := map[config.Kind]float64{}
+	for _, k := range config.Kinds {
+		per[k] = TightLoop(config.New(k, 64), 25).CyclesPerIteration()
+	}
+	t.Logf("TightLoop cycles/iter at 64 cores: %v", per)
+	if !(per[config.WiSync] < per[config.WiSyncNoT] &&
+		per[config.WiSyncNoT] < per[config.BaselinePlus] &&
+		per[config.BaselinePlus] < per[config.Baseline]) {
+		t.Errorf("Figure 7 ordering violated: %v", per)
+	}
+	// Paper shape: WiSyncNoT 2-6x WiSync; Baseline+ several times
+	// WiSyncNoT; Baseline about two orders of magnitude above WiSync.
+	if r := per[config.WiSyncNoT] / per[config.WiSync]; r < 1.5 || r > 8 {
+		t.Errorf("WiSyncNoT/WiSync = %.1f, want roughly 2-6", r)
+	}
+	if r := per[config.BaselinePlus] / per[config.WiSync]; r < 4 || r > 25 {
+		t.Errorf("Baseline+/WiSync = %.1f, want roughly 5-15", r)
+	}
+	if r := per[config.Baseline] / per[config.WiSync]; r < 40 {
+		t.Errorf("Baseline/WiSync = %.1f, want order(s) of magnitude", r)
+	}
+}
+
+// sequential references for the Livermore loops, mirroring the kernels'
+// data generators and the phase-staged (Jacobi) update order of the
+// parallel decomposition.
+func refLivermore2(n, passes int) []float64 {
+	x := seqVector(2*n, 3)
+	v := seqVector(2*n, 7)
+	for pass := 0; pass < passes; pass++ {
+		ii := n
+		ipntp := 0
+		for ii > 1 {
+			ipnt := ipntp
+			ipntp += ii
+			ii /= 2
+			staged := make([]float64, ii)
+			for e := 0; e < ii; e++ {
+				k := ipnt + 1 + 2*e
+				staged[e] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+			}
+			copy(x[ipntp:ipntp+ii], staged)
+		}
+	}
+	return x
+}
+
+func refLivermore6(n int) []float64 {
+	w := seqVector(n, 13)
+	bm := seqVector(n*8, 17)
+	for i := 1; i < n; i++ {
+		var s float64
+		for k := 0; k < i; k++ {
+			s += bm[(k*7+i)%(n*8)] * w[i-k-1]
+		}
+		w[i] += s
+	}
+	return w
+}
+
+func TestLivermore2MatchesSequential(t *testing.T) {
+	for _, k := range []config.Kind{config.Baseline, config.WiSync} {
+		r, x := Livermore2(config.New(k, 8), 64, 2)
+		want := refLivermore2(64, 2)
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: x[%d] = %v, want %v", k, i, x[i], want[i])
+			}
+		}
+		if r.Cycles == 0 {
+			t.Error("zero cycles")
+		}
+	}
+}
+
+func TestLivermore3MatchesSequential(t *testing.T) {
+	n := 256
+	z := seqVector(n, 5)
+	xv := seqVector(n, 11)
+	var want float64
+	for i := 0; i < n; i++ {
+		want += z[i] * xv[i]
+	}
+	for _, k := range []config.Kind{config.Baseline, config.WiSync} {
+		_, got := Livermore3(config.New(k, 8), n, 1)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("%v: inner product = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLivermore6MatchesSequential(t *testing.T) {
+	for _, k := range []config.Kind{config.Baseline, config.WiSync} {
+		_, w := Livermore6(config.New(k, 8), 48)
+		want := refLivermore6(48)
+		for i := range want {
+			if math.Abs(w[i]-want[i]) > 1e-6*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("%v: w[%d] = %v, want %v", k, i, w[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLivermoreBarrierDominanceShrinksWithN(t *testing.T) {
+	// Figure 8 property: the WiSync advantage over Baseline+ shrinks as
+	// the vector grows (compute amortizes the barriers).
+	speedup := func(n int) float64 {
+		rb, _ := Livermore3(config.New(config.BaselinePlus, 16), n, 2)
+		rw, _ := Livermore3(config.New(config.WiSync, 16), n, 2)
+		return float64(rb.Cycles) / float64(rw.Cycles)
+	}
+	small, large := speedup(64), speedup(8192)
+	t.Logf("Baseline+/WiSync on loop3: n=64 %.2fx, n=8192 %.2fx", small, large)
+	if small <= large {
+		t.Errorf("advantage did not shrink: %.2f (small) vs %.2f (large)", small, large)
+	}
+	if small < 1.2 {
+		t.Errorf("small-vector advantage %.2fx too small", small)
+	}
+}
+
+func TestCASKernelRuns(t *testing.T) {
+	for _, kind := range []CASKind{FIFO, LIFO, ADD} {
+		r := CASKernel(config.New(config.WiSync, 16), kind, 256, 20000)
+		if r.Successes == 0 {
+			t.Errorf("%v: no successful CASes", kind)
+		}
+		if r.Per1000 <= 0 {
+			t.Errorf("%v: throughput %v", kind, r.Per1000)
+		}
+	}
+}
+
+func TestCASThroughputGapGrowsWithContention(t *testing.T) {
+	// Figure 9 property: WiSync and Baseline are comparable at large
+	// critical sections; WiSync pulls far ahead at small ones.
+	gap := func(cs int) float64 {
+		b := CASKernel(config.New(config.Baseline, 64), ADD, cs, 50000)
+		w := CASKernel(config.New(config.WiSync, 64), ADD, cs, 50000)
+		return w.Per1000 / b.Per1000
+	}
+	relaxed, contended := gap(16384), gap(16)
+	t.Logf("WiSync/Baseline ADD throughput: cs=16K %.2fx, cs=16 %.2fx", relaxed, contended)
+	if relaxed > 2.5 {
+		t.Errorf("gap at 16K instructions = %.2fx, want near parity", relaxed)
+	}
+	if contended < 4 {
+		t.Errorf("gap at 16 instructions = %.2fx, want >= 4x", contended)
+	}
+}
+
+func TestCASDemandLimitedRegimeMatchesDemand(t *testing.T) {
+	// At very large critical sections throughput equals offered load:
+	// cores * 1000 / (csInstr/2 cycles).
+	cs := 16384
+	r := CASKernel(config.New(config.Baseline, 64), ADD, cs, 200000)
+	demand := 64.0 * 1000 / (float64(cs) / 2)
+	if r.Per1000 < 0.5*demand || r.Per1000 > 1.2*demand {
+		t.Errorf("throughput %.2f/1000cyc vs offered %.2f", r.Per1000, demand)
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, p := range []int{1, 3, 16, 64} {
+			total := 0
+			prevHi := 0
+			for w := 0; w < p; w++ {
+				lo, hi := chunk(n, w, p)
+				if lo != prevHi {
+					t.Fatalf("chunk(%d,%d,%d): gap at %d", n, w, p, lo)
+				}
+				total += hi - lo
+				prevHi = hi
+			}
+			if total != n {
+				t.Fatalf("chunks of %d over %d sum to %d", n, p, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/syncprims"
+)
+
+// Livermore2 is Livermore loop 2, an excerpt from an incomplete Cholesky
+// conjugate gradient: log2(n) wavefront phases, the k-th processing half
+// the elements of the previous one, with a global barrier between phases.
+// Small vectors are barrier-dominated; large vectors amortize. It returns
+// the result vector alongside timing so tests can validate against the
+// sequential reference.
+func Livermore2(cfg config.Config, n int, passes int) (Result, []float64) {
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	b := f.NewBarrier(nil)
+	x := seqVector(2*n, 3)
+	v := seqVector(2*n, 7)
+	xBase := m.AllocArray(2 * n)
+	vBase := m.AllocArray(2 * n)
+
+	// Each phase computes into a staging buffer and publishes after a
+	// barrier (the wavefront's first output index coincides with the last
+	// element's read index, so in-place parallel updates would race; this
+	// is the data alignment step of Sampson et al. [37]).
+	staged := make([][]float64, cfg.Cores)
+	m.SpawnAll(func(t *core.Thread) {
+		for pass := 0; pass < passes; pass++ {
+			ii := n
+			ipntp := 0
+			for ii > 1 {
+				ipnt := ipntp
+				ipntp += ii
+				ii /= 2
+				// Elements k = ipnt+1, ipnt+3, ... (ii of them);
+				// writes land at i = ipntp, ipntp+1, ...
+				lo, hi := chunk(ii, t.Core, cfg.Cores)
+				staged[t.Core] = staged[t.Core][:0]
+				for e := lo; e < hi; e++ {
+					k := ipnt + 1 + 2*e
+					staged[t.Core] = append(staged[t.Core],
+						x[k]-v[k]*x[k-1]-v[k+1]*x[k+1])
+				}
+				// Timing: reads of x and v over the strided range,
+				// ~8 instructions per element.
+				if hi > lo {
+					readRange(t, xBase, ipnt+2*lo, ipnt+2*hi, 4)
+					readRange(t, vBase, ipnt+2*lo, ipnt+2*hi, 4)
+				}
+				b.Wait(t)
+				for e := lo; e < hi; e++ {
+					x[ipntp+e] = staged[t.Core][e-lo]
+				}
+				if hi > lo {
+					readRange(t, xBase, ipntp+lo, ipntp+hi, 1)
+				}
+				b.Wait(t)
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return Result{
+		Cfg:             cfg,
+		Cycles:          m.Now(),
+		Iterations:      passes,
+		DataChannelUtil: m.DataChannelUtilization(),
+	}, x
+}
+
+// Livermore3 is Livermore loop 3, an inner product: each thread forms a
+// partial sum over its chunk, then a reduction combines the partials
+// (fetch&add on the Broadcast Memory for WiSync; a coherent RMW for the
+// wired machines) and a barrier closes each pass.
+func Livermore3(cfg config.Config, n int, passes int) (Result, float64) {
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	b := f.NewBarrier(nil)
+	red := f.NewReducer(0)
+	z := seqVector(n, 5)
+	xv := seqVector(n, 11)
+	zBase := m.AllocArray(n)
+	xBase := m.AllocArray(n)
+	partials := make([]float64, cfg.Cores)
+
+	m.SpawnAll(func(t *core.Thread) {
+		lo, hi := chunk(n, t.Core, cfg.Cores)
+		for pass := 0; pass < passes; pass++ {
+			var q float64
+			for k := lo; k < hi; k++ {
+				q += z[k] * xv[k]
+			}
+			partials[t.Core] = q
+			readRange(t, zBase, lo, hi, 1)
+			readRange(t, xBase, lo, hi, 1)
+			// The reduction variable carries the partial count in
+			// fixed point; the functional sum is mirrored in
+			// partials.
+			red.Add(t, uint64(int64(q)))
+			b.Wait(t)
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return Result{
+		Cfg:             cfg,
+		Cycles:          m.Now(),
+		Iterations:      passes,
+		DataChannelUtil: m.DataChannelUtilization(),
+	}, sum
+}
+
+// Livermore6 is Livermore loop 6, a general linear recurrence: step i needs
+// all previous w values, so the inner loop parallelizes across threads with
+// a barrier per step — n-1 barriers whose enclosed work grows linearly.
+// This is the kernel where Baseline+ approaches WiSync at large n (Figure
+// 8(c)/(f)): the loop body eventually dominates.
+func Livermore6(cfg config.Config, n int) (Result, []float64) {
+	m := core.NewMachine(cfg)
+	f := syncprims.NewFactory(m)
+	b := f.NewBarrier(nil)
+	w := seqVector(n, 13)
+	bm := seqVector(n*8, 17) // b(k,i) sampled row-wise
+	wBase := m.AllocArray(n)
+	bBase := m.AllocArray(n * 8)
+	partials := make([]float64, cfg.Cores)
+
+	m.SpawnAll(func(t *core.Thread) {
+		for i := 1; i < n; i++ {
+			lo, hi := chunk(i, t.Core, cfg.Cores)
+			var acc float64
+			for k := lo; k < hi; k++ {
+				acc += bm[(k*7+i)%(n*8)] * w[i-k-1]
+			}
+			partials[t.Core] = acc
+			if hi > lo {
+				// b(k,i) and w(i-k-1) sweeps.
+				readRange(t, bBase, lo, hi, 2)
+				readRange(t, wBase, i-hi, i-lo, 2)
+			}
+			b.Wait(t)
+			if t.Core == 0 {
+				var s float64
+				for _, p := range partials {
+					s += p
+				}
+				for c := range partials {
+					partials[c] = 0
+				}
+				w[i] += s
+				t.Write(wBase+uint64(i)*8, 0)
+			}
+			b.Wait(t)
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return Result{
+		Cfg:             cfg,
+		Cycles:          m.Now(),
+		Iterations:      n - 1,
+		DataChannelUtil: m.DataChannelUtilization(),
+	}, w
+}
+
+// seqVector builds a deterministic pseudo-random vector of small values.
+func seqVector(n int, seed uint64) []float64 {
+	v := make([]float64, n)
+	s := seed
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = float64(s>>60) / 16 // [0, 1)
+	}
+	return v
+}

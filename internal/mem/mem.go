@@ -1,0 +1,248 @@
+// Package mem implements the wired memory substrate of Table 1: private
+// per-core L1 caches, a shared L2 distributed as one bank per core, a MOESI
+// directory protocol, and four off-chip memory controllers, all on top of
+// the 2D-mesh of package noc.
+//
+// The model is a combined functional + timing model. Values live in a
+// single global word store (the simulator is single-threaded, so this is
+// race-free); the protocol determines *when* each access completes and how
+// transactions to the same line serialize. Serialization is modeled with a
+// FIFO resource per directory line: the home directory processes one
+// transaction on a line at a time, holding the line while invalidations and
+// forwards are outstanding. This is what reproduces the synchronization
+// costs the paper measures on Baseline and Baseline+: ownership ping-pong
+// on contended CAS lines, and invalidation/refill storms on spin variables.
+//
+// Spin-waiting is modeled faithfully to hardware: a spinning core holds the
+// line in Shared state and generates no traffic until the line is
+// invalidated, at which point it re-fetches (SpinUntil).
+package mem
+
+import (
+	"fmt"
+
+	"wisync/internal/noc"
+	"wisync/internal/sim"
+)
+
+// LineShift is log2 of the coherence line size (64 bytes).
+const LineShift = 6
+
+// LineBytes is the coherence line size.
+const LineBytes = 1 << LineShift
+
+// State is an L1 MOESI state.
+type State uint8
+
+// MOESI states for an L1 line.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Params configures the memory system. All latencies are in cycles.
+type Params struct {
+	Cores int
+	// L1RT is the L1 round-trip latency (Table 1: 2).
+	L1RT sim.Time
+	// L2RT is the local L2 bank round-trip latency (Table 1: 6).
+	L2RT sim.Time
+	// MemRT is the off-chip memory round trip (Table 1: 110).
+	MemRT sim.Time
+	// MemCtrlOcc is the per-request occupancy of a memory controller
+	// port, bounding its bandwidth.
+	MemCtrlOcc sim.Time
+	// L1Sets and L1Ways give the private L1 geometry (32KB 2-way, 64B
+	// lines: 256 sets x 2 ways).
+	L1Sets, L1Ways int
+	// TreeBroadcast enables the Baseline+ virtual-tree multicast support
+	// for invalidation fan-out (Krishna et al. [22]).
+	TreeBroadcast bool
+}
+
+// DefaultParams returns the Table 1 configuration for n cores.
+func DefaultParams(n int) Params {
+	return Params{
+		Cores:      n,
+		L1RT:       2,
+		L2RT:       6,
+		MemRT:      110,
+		MemCtrlOcc: 8,
+		L1Sets:     256,
+		L1Ways:     2,
+	}
+}
+
+// Stats accumulates memory-system counters.
+type Stats struct {
+	L1Hits        uint64
+	L1Misses      uint64
+	Transactions  uint64
+	Invalidations uint64
+	Forwards      uint64
+	MemFetches    uint64
+	Evictions     uint64
+}
+
+type bitset [4]uint64 // up to 256 cores
+
+func (b *bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b *bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *bitset) forEach(fn func(i int)) {
+	for wi, w := range b {
+		for ; w != 0; w &= w - 1 {
+			fn(wi*64 + trailingZeros(w))
+		}
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// dirLine is the directory entry for one line, held at its home bank.
+type dirLine struct {
+	res     sim.Resource
+	owner   int // core holding E/M/O, or -1
+	sharers bitset
+	inL2    bool
+	// settleAt is when the most recent ownership grant completes at the
+	// new owner (data, acks and fill all arrived). The home defers the
+	// next transaction on the line until then: consecutive ownership
+	// transfers serialize over a full round trip, as in real ack-counted
+	// protocols where an owner with a pending grant defers or NACKs.
+	settleAt sim.Time
+}
+
+type l1slot struct {
+	line  uint64
+	state State
+}
+
+type l1cache struct {
+	sets    [][]l1slot // MRU-first
+	waiters map[uint64]*sim.WaitQueue
+	// epochs counts invalidations per line; an in-flight refill whose
+	// line was invalidated after the directory released it must not
+	// install a stale copy.
+	epochs map[uint64]uint64
+}
+
+// System is the wired coherent memory hierarchy.
+type System struct {
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	p     Params
+	l1    []l1cache
+	dir   map[uint64]*dirLine
+	words map[uint64]uint64
+	mc    [4]sim.Resource
+	// Stats is exported for harness reporting.
+	Stats Stats
+	// TraceLine and Trace enable transaction tracing for one line, for
+	// debugging tests.
+	TraceLine uint64
+	Trace     func(string)
+}
+
+func (s *System) trace(line uint64, format string, args ...any) {
+	if s.Trace != nil && line == s.TraceLine {
+		s.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// New builds a memory system over mesh with the given parameters.
+func New(eng *sim.Engine, mesh *noc.Mesh, p Params) *System {
+	if p.Cores != mesh.Nodes() {
+		panic(fmt.Sprintf("mem: %d cores but mesh has %d nodes", p.Cores, mesh.Nodes()))
+	}
+	if p.Cores > 256 {
+		panic("mem: more than 256 cores not supported")
+	}
+	s := &System{
+		eng:   eng,
+		mesh:  mesh,
+		p:     p,
+		l1:    make([]l1cache, p.Cores),
+		dir:   make(map[uint64]*dirLine),
+		words: make(map[uint64]uint64),
+	}
+	for i := range s.l1 {
+		s.l1[i] = l1cache{
+			sets:    make([][]l1slot, p.L1Sets),
+			waiters: make(map[uint64]*sim.WaitQueue),
+			epochs:  make(map[uint64]uint64),
+		}
+	}
+	return s
+}
+
+// Params returns the configuration the system was built with.
+func (s *System) Params() Params { return s.p }
+
+// Line returns the line address containing addr.
+func Line(addr uint64) uint64 { return addr >> LineShift }
+
+// home returns the core whose L2 bank is the home for line.
+func (s *System) home(line uint64) int { return int(line % uint64(s.p.Cores)) }
+
+func (s *System) dirFor(line uint64) *dirLine {
+	d, ok := s.dir[line]
+	if !ok {
+		d = &dirLine{owner: -1}
+		s.dir[line] = d
+	}
+	return d
+}
+
+// lookup finds the L1 slot for line in core's cache, moving it to MRU.
+func (c *l1cache) lookup(setsMask uint64, line uint64) *l1slot {
+	set := c.sets[line&setsMask]
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			if i != 0 {
+				sl := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = sl
+			}
+			return &set[0]
+		}
+	}
+	return nil
+}

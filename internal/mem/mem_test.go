@@ -1,0 +1,476 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/noc"
+	"wisync/internal/sim"
+)
+
+func newSys(t *testing.T, cores int) (*sim.Engine, *System) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	mesh := noc.New(cores, 4)
+	return eng, New(eng, mesh, DefaultParams(cores))
+}
+
+// run executes body as a single process and returns the finish time.
+func run1(t *testing.T, eng *sim.Engine, body func(p *sim.Proc)) sim.Time {
+	t.Helper()
+	var end sim.Time
+	eng.Go("t0", func(p *sim.Proc) {
+		body(p)
+		end = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x1000, 42)
+	run1(t, eng, func(p *sim.Proc) {
+		if v := s.Read(p, 0, 0x1000); v != 42 {
+			t.Errorf("Read = %d, want 42", v)
+		}
+		miss := p.Now()
+		if v := s.Read(p, 0, 0x1000); v != 42 {
+			t.Errorf("second Read = %d, want 42", v)
+		}
+		hitLat := p.Now() - miss
+		if hitLat != s.Params().L1RT {
+			t.Errorf("hit latency = %d, want %d", hitLat, s.Params().L1RT)
+		}
+		if miss <= hitLat {
+			t.Errorf("miss latency %d not greater than hit latency %d", miss, hitLat)
+		}
+	})
+	if s.Stats.L1Hits != 1 || s.Stats.L1Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", s.Stats.L1Hits, s.Stats.L1Misses)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColdMissPaysMemory(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.PokeCold(0x2000, 7)
+	lat := run1(t, eng, func(p *sim.Proc) {
+		if v := s.Read(p, 3, 0x2000); v != 7 {
+			t.Errorf("Read = %d, want 7", v)
+		}
+	})
+	if lat < s.Params().MemRT {
+		t.Errorf("cold miss latency %d < MemRT %d", lat, s.Params().MemRT)
+	}
+	if s.Stats.MemFetches != 1 {
+		t.Errorf("MemFetches = %d, want 1", s.Stats.MemFetches)
+	}
+}
+
+func TestExclusiveGrantOnSoleReader(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x40, 1)
+	run1(t, eng, func(p *sim.Proc) {
+		s.Read(p, 2, 0x40)
+		if st := s.L1State(2, 0x40); st != Exclusive {
+			t.Errorf("sole reader state = %v, want E", st)
+		}
+		// A second reader forces a downgrade... from a different core.
+	})
+}
+
+func TestReadSharersAndWriteInvalidates(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x80, 5)
+	done := make(chan struct{}, 3)
+	eng.Go("r1", func(p *sim.Proc) {
+		s.Read(p, 1, 0x80)
+		done <- struct{}{}
+	})
+	eng.Go("r2", func(p *sim.Proc) {
+		p.Sleep(100)
+		s.Read(p, 2, 0x80)
+		done <- struct{}{}
+	})
+	eng.Go("w3", func(p *sim.Proc) {
+		p.Sleep(300)
+		s.Write(p, 3, 0x80, 9)
+		if st := s.L1State(3, 0x80); st != Modified {
+			t.Errorf("writer state = %v, want M", st)
+		}
+		if s.L1State(1, 0x80) != Invalid || s.L1State(2, 0x80) != Invalid {
+			t.Error("readers not invalidated by write")
+		}
+		done <- struct{}{}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Peek(0x80) != 9 {
+		t.Errorf("final value = %d, want 9", s.Peek(0x80))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerForwardsToReader(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x100, 1)
+	eng.Go("w", func(p *sim.Proc) {
+		s.Write(p, 0, 0x100, 77)
+	})
+	eng.Go("r", func(p *sim.Proc) {
+		p.Sleep(500)
+		if v := s.Read(p, 9, 0x100); v != 77 {
+			t.Errorf("read from owner = %d, want 77", v)
+		}
+		// MOESI: previous owner keeps the line in Owned.
+		if st := s.L1State(0, 0x100); st != Owned {
+			t.Errorf("previous owner state = %v, want O", st)
+		}
+		if st := s.L1State(9, 0x100); st != Shared {
+			t.Errorf("reader state = %v, want S", st)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Forwards != 1 {
+		t.Errorf("Forwards = %d, want 1", s.Stats.Forwards)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMWAtomicUnderContention(t *testing.T) {
+	eng, s := newSys(t, 64)
+	s.Poke(0x200, 0)
+	const perCore, cores = 20, 64
+	for c := 0; c < cores; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("c%d", c), func(p *sim.Proc) {
+			for i := 0; i < perCore; i++ {
+				s.RMW(p, c, 0x200, func(v uint64) (uint64, bool) { return v + 1, true })
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0x200); got != perCore*cores {
+		t.Errorf("counter = %d, want %d (lost updates)", got, perCore*cores)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x300, 10)
+	run1(t, eng, func(p *sim.Proc) {
+		cas := func(old, nv uint64) bool {
+			v := s.RMW(p, 0, 0x300, func(cur uint64) (uint64, bool) {
+				return nv, cur == old
+			})
+			return v == old
+		}
+		if !cas(10, 11) {
+			t.Error("CAS(10,11) failed on matching value")
+		}
+		if cas(10, 12) {
+			t.Error("CAS(10,12) succeeded on stale value")
+		}
+		if s.Peek(0x300) != 11 {
+			t.Errorf("value = %d, want 11", s.Peek(0x300))
+		}
+	})
+}
+
+func TestSpinUntilWakesOnWrite(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x400, 0)
+	var sawAt sim.Time
+	eng.Go("spinner", func(p *sim.Proc) {
+		v := s.SpinUntil(p, 1, 0x400, func(v uint64) bool { return v == 1 })
+		if v != 1 {
+			t.Errorf("SpinUntil returned %d", v)
+		}
+		sawAt = p.Now()
+	})
+	eng.Go("writer", func(p *sim.Proc) {
+		p.Sleep(1000)
+		s.Write(p, 2, 0x400, 1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sawAt < 1000 {
+		t.Errorf("spinner released at %d, before the write", sawAt)
+	}
+	if sawAt > 1200 {
+		t.Errorf("spinner released at %d, too long after the write", sawAt)
+	}
+}
+
+func TestSpinnerGeneratesNoTrafficWhileCached(t *testing.T) {
+	eng, s := newSys(t, 16)
+	s.Poke(0x500, 0)
+	eng.Go("spinner", func(p *sim.Proc) {
+		s.SpinUntil(p, 1, 0x500, func(v uint64) bool { return v == 1 })
+	})
+	eng.Go("observer", func(p *sim.Proc) {
+		p.Sleep(5000)
+		before := s.Stats.Transactions
+		p.Sleep(5000)
+		if d := s.Stats.Transactions - before; d != 0 {
+			t.Errorf("spinner generated %d transactions while cached", d)
+		}
+		s.Write(p, 2, 0x500, 1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseStormSerializesAtDirectory(t *testing.T) {
+	// N spinners on one line; one writer flips it. All spinners re-fetch,
+	// and the refills serialize at the home directory: the last spinner
+	// must observe the write much later than the first.
+	eng, s := newSys(t, 64)
+	s.Poke(0x600, 0)
+	var releases []sim.Time
+	for c := 1; c < 33; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("s%d", c), func(p *sim.Proc) {
+			s.SpinUntil(p, c, 0x600, func(v uint64) bool { return v == 1 })
+			releases = append(releases, p.Now())
+		})
+	}
+	eng.Go("writer", func(p *sim.Proc) {
+		p.Sleep(2000)
+		s.Write(p, 0, 0x600, 1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 32 {
+		t.Fatalf("%d spinners released, want 32", len(releases))
+	}
+	minT, maxT := releases[0], releases[0]
+	for _, r := range releases {
+		if r < minT {
+			minT = r
+		}
+		if r > maxT {
+			maxT = r
+		}
+	}
+	if spread := maxT - minT; spread < 100 {
+		t.Errorf("release spread = %d cycles; storm did not serialize", spread)
+	}
+}
+
+func TestTreeBroadcastSpeedsInvalidation(t *testing.T) {
+	// Invalidating many sharers should hold the line for less time with
+	// the Baseline+ virtual-tree support.
+	invTime := func(tree bool) sim.Time {
+		eng := sim.NewEngine(1)
+		mesh := noc.New(64, 4)
+		p := DefaultParams(64)
+		p.TreeBroadcast = tree
+		s := New(eng, mesh, p)
+		s.Poke(0x700, 0)
+		for c := 1; c < 64; c++ {
+			c := c
+			eng.Go(fmt.Sprintf("r%d", c), func(p *sim.Proc) { s.Read(p, c, 0x700) })
+		}
+		var lat sim.Time
+		eng.Go("w", func(p *sim.Proc) {
+			p.Sleep(3000)
+			start := p.Now()
+			s.Write(p, 0, 0x700, 1)
+			lat = p.Now() - start
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	serial, tree := invTime(false), invTime(true)
+	if tree >= serial {
+		t.Errorf("tree invalidation (%d) not faster than serial (%d)", tree, serial)
+	}
+}
+
+func TestL1EvictionRespectsAssociativity(t *testing.T) {
+	eng, s := newSys(t, 16)
+	// Touch L1Ways+2 lines mapping to the same set.
+	p := s.Params()
+	stride := uint64(p.L1Sets) << LineShift
+	run1(t, eng, func(pr *sim.Proc) {
+		for i := uint64(0); i < uint64(p.L1Ways+2); i++ {
+			s.Read(pr, 0, i*stride)
+		}
+	})
+	if s.Stats.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", s.Stats.Evictions)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictedDirtyLineReturnsHome(t *testing.T) {
+	eng, s := newSys(t, 16)
+	p := s.Params()
+	stride := uint64(p.L1Sets) << LineShift
+	run1(t, eng, func(pr *sim.Proc) {
+		s.Write(pr, 0, 0, 123)
+		// Force eviction of line 0 by filling the set.
+		for i := uint64(1); i <= uint64(p.L1Ways); i++ {
+			s.Read(pr, 0, i*stride)
+		}
+		if st := s.L1State(0, 0); st != Invalid {
+			t.Errorf("dirty line still present: %v", st)
+		}
+		// Another core reads it; data must come from home, value intact.
+		if v := s.Read(pr, 5, 0); v != 123 {
+			t.Errorf("value after dirty eviction = %d, want 123", v)
+		}
+	})
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomizedVsReferenceMemory drives random reads/writes/RMWs from many
+// cores and checks full value agreement with a sequential reference at the
+// end, plus protocol invariants. This is the core property test for the
+// coherence substrate.
+func TestRandomizedVsReferenceMemory(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		eng := sim.NewEngine(uint64(1000 + trial))
+		mesh := noc.New(16, 4)
+		s := New(eng, mesh, DefaultParams(16))
+		const nAddrs = 24
+		addrs := make([]uint64, nAddrs)
+		for i := range addrs {
+			// Some same-line pairs, some distinct lines.
+			addrs[i] = uint64(i/2)<<LineShift | uint64(i%2)*8
+			s.Poke(addrs[i], 0)
+		}
+		var sum [16]uint64
+		for c := 0; c < 16; c++ {
+			c := c
+			eng.Go(fmt.Sprintf("c%d", c), func(p *sim.Proc) {
+				rng := sim.NewRand(uint64(c*977 + trial))
+				for op := 0; op < 200; op++ {
+					a := addrs[rng.Intn(nAddrs)]
+					switch rng.Intn(3) {
+					case 0:
+						sum[c] += s.Read(p, c, a)
+					case 1:
+						s.Write(p, c, a, rng.Uint64()%1000)
+					case 2:
+						s.RMW(p, c, a, func(v uint64) (uint64, bool) { return v + 1, true })
+					}
+					p.Sleep(sim.Time(rng.Intn(20)))
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Quiesced: every core must observe the same final value for
+		// every address when reading through the protocol.
+		for c := 0; c < 16; c++ {
+			c := c
+			eng.Go(fmt.Sprintf("check%d", c), func(p *sim.Proc) {
+				for _, a := range addrs {
+					if v, want := s.Read(p, c, a), s.Peek(a); v != want {
+						t.Errorf("trial %d: core %d reads %d at %#x, want %d", trial, c, v, a, want)
+					}
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIncrementsNeverLost(t *testing.T) {
+	// Pure RMW increments from every core across several addresses; total
+	// must equal the number of operations.
+	eng, s := newSys(t, 32)
+	addrs := []uint64{0x0, 0x8, 0x40, 0x48, 0x1000}
+	for _, a := range addrs {
+		s.Poke(a, 0)
+	}
+	const opsPerCore = 50
+	for c := 0; c < 32; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("c%d", c), func(p *sim.Proc) {
+			rng := sim.NewRand(uint64(c + 7))
+			for i := 0; i < opsPerCore; i++ {
+				a := addrs[rng.Intn(len(addrs))]
+				s.RMW(p, c, a, func(v uint64) (uint64, bool) { return v + 1, true })
+				p.Sleep(sim.Time(rng.Intn(10)))
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, a := range addrs {
+		total += s.Peek(a)
+	}
+	if total != 32*opsPerCore {
+		t.Errorf("total increments = %d, want %d", total, 32*opsPerCore)
+	}
+}
+
+func TestHotLinePingPongCost(t *testing.T) {
+	// Alternating RMWs from two far-apart cores must each pay an
+	// ownership transfer; throughput is bounded by the mesh round trip.
+	eng, s := newSys(t, 64)
+	s.Poke(0x800, 0)
+	var finish sim.Time
+	const n = 50
+	eng.Go("a", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			s.RMW(p, 0, 0x800, func(v uint64) (uint64, bool) { return v + 1, true })
+		}
+		finish = p.Now()
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			s.RMW(p, 63, 0x800, func(v uint64) (uint64, bool) { return v + 1, true })
+		}
+		if p.Now() > finish {
+			finish = p.Now()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Peek(0x800) != 2*n {
+		t.Errorf("counter = %d, want %d", s.Peek(0x800), 2*n)
+	}
+	perOp := finish / (2 * n)
+	if perOp < 20 {
+		t.Errorf("per-op cost %d cycles is implausibly cheap for ping-pong", perOp)
+	}
+}

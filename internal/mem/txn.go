@@ -1,0 +1,422 @@
+package mem
+
+import (
+	"fmt"
+
+	"wisync/internal/sim"
+)
+
+func (s *System) setsMask() uint64 { return uint64(s.p.L1Sets - 1) }
+
+// Read loads the 64-bit word at addr from core's view of memory and returns
+// its value, charging the full coherence latency.
+func (s *System) Read(p *sim.Proc, core int, addr uint64) uint64 {
+	line := Line(addr)
+	c := &s.l1[core]
+	if sl := c.lookup(s.setsMask(), line); sl != nil {
+		s.Stats.L1Hits++
+		p.Sleep(s.p.L1RT)
+		return s.words[addr]
+	}
+	s.Stats.L1Misses++
+	v, _ := s.transact(p, core, line, addr, nil)
+	return v
+}
+
+// Write stores val to the 64-bit word at addr, obtaining exclusive
+// ownership of the line first.
+func (s *System) Write(p *sim.Proc, core int, addr uint64, val uint64) {
+	s.RMW(p, core, addr, func(uint64) (uint64, bool) { return val, true })
+}
+
+// RMW performs an atomic read-modify-write on the word at addr. The
+// function f receives the current value and returns the new value and
+// whether to perform the write (a failing CAS returns false); it must be
+// pure and may be invoked once. RMW returns the value f observed. Updates
+// serialize at the home directory, which holds the line exclusively for the
+// write; an RMW that performs no write (failed compare) is serviced like a
+// read — no invalidations, no ownership transfer — so compare failures do
+// not storm the line.
+func (s *System) RMW(p *sim.Proc, core int, addr uint64, f func(uint64) (uint64, bool)) uint64 {
+	line := Line(addr)
+	c := &s.l1[core]
+	if sl := c.lookup(s.setsMask(), line); sl != nil && (sl.state == Modified || sl.state == Exclusive) {
+		// Exclusive hit: the update is local and atomic. It linearizes
+		// now, while the line is verifiably exclusive — a forward
+		// serialized during the L1 latency below must observe the new
+		// value, or a spinner can sample stale data and sleep forever.
+		s.Stats.L1Hits++
+		sl.state = Modified
+		old := s.words[addr]
+		if nv, do := f(old); do {
+			s.words[addr] = nv
+		}
+		p.Sleep(s.p.L1RT)
+		return old
+	}
+	s.Stats.L1Misses++
+	v, _ := s.transact(p, core, line, addr, f)
+	return v
+}
+
+// transact runs a directory transaction for core on line. If f is nil this
+// is a read (Shared grant); otherwise an exclusive grant applying f to the
+// word at addr at the serialization point. It returns the observed value
+// and the grant state.
+func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f func(uint64) (uint64, bool)) (uint64, State) {
+	s.Stats.Transactions++
+	home := s.home(line)
+
+	// Request travels core -> home.
+	p.Sleep(sim.Time(s.mesh.Latency(core, home)))
+
+	d := s.dirFor(line)
+	d.res.Acquire(p, "dirline")
+	if s.eng.Now() < d.settleAt {
+		// A previous ownership grant is still settling at its owner.
+		p.Sleep(d.settleAt - s.eng.Now())
+	}
+	s.trace(line, "t=%d core=%d txn f=%v owner=%d sharers=%d", s.eng.Now(), core, f != nil, d.owner, d.sharers.count())
+
+	// The line is held: the committed word value cannot change, so an RMW
+	// decision made now is the serialization decision. A no-write RMW
+	// (failed compare) is serviced like an uncached read: the requester
+	// learns the value but installs no copy and registers as no sharer —
+	// so CAS retry storms neither inflate the sharer set nor pay
+	// ownership transfers.
+	var rmwNew uint64
+	doWrite := false
+	noWriteRMW := false
+	if f != nil {
+		rmwNew, doWrite = f(s.words[addr])
+		if !doWrite {
+			f = nil
+			noWriteRMW = true
+		}
+	}
+
+	// Home-side processing while the line is held. ackWait is latency the
+	// requester pays after the home moves on (invalidation acks collect at
+	// the requester, off the home's critical path, as in ack-counting
+	// directory protocols).
+	var hold, ackWait sim.Time
+	fwdSrc := -1
+	hadOwner := d.owner >= 0
+	if f == nil { // ---- Shared grant ----
+		sl := (*l1slot)(nil)
+		if d.owner >= 0 && d.owner != core {
+			sl = s.l1[d.owner].lookup(s.setsMask(), line)
+		}
+		switch {
+		case d.owner >= 0 && d.owner != core &&
+			sl != nil && (sl.state == Modified || sl.state == Exclusive):
+			// Settled owner: forward; owner supplies data and
+			// downgrades M/E -> O (stays owner, MOESI).
+			s.Stats.Forwards++
+			fwdSrc = d.owner
+			hold = sim.Time(s.mesh.Latency(home, d.owner)) + s.p.L1RT
+			sl.state = Owned
+		case d.owner >= 0 && d.owner != core:
+			// Owner evicted or holds only a downgraded copy; recall
+			// it entirely (copy, in-flight fill, and spinners) and
+			// serve from home, so the directory and the L1s never
+			// disagree about ownership.
+			s.invalidateL1(d.owner, line)
+			d.owner = -1
+			d.inL2 = true
+			hold = s.p.L2RT
+		case d.inL2:
+			hold = s.p.L2RT
+		default:
+			hold = s.fetchFromMemory(p, home, line)
+		}
+		switch {
+		case noWriteRMW:
+			// Value-only reply: no copy installed, nothing recorded.
+		case !hadOwner && d.sharers.count() == 0:
+			// Genuinely sole copy: grant Exclusive. (When an owner's
+			// grant was in flight and had to be aborted, grant only
+			// Shared, or a burst of first readers would steal E from
+			// each other's unfinished fills.)
+			d.owner = core
+		default:
+			d.sharers.set(core)
+		}
+	} else { // ---- Exclusive grant ----
+		// Invalidate every other copy. The home issues the
+		// invalidations (occupying the line briefly); the farthest ack
+		// round trip is charged to the requester.
+		maxHops := 0
+		ninv := 0
+		d.sharers.forEach(func(i int) {
+			if i == core {
+				return
+			}
+			ninv++
+			if h := s.mesh.Hops(home, i); h > maxHops {
+				maxHops = h
+			}
+			s.invalidateL1(i, line)
+		})
+		d.sharers = bitset{}
+		if d.owner >= 0 && d.owner != core {
+			ninv++
+			if h := s.mesh.Hops(home, d.owner); h > maxHops {
+				maxHops = h
+			}
+			s.invalidateL1(d.owner, line)
+			d.inL2 = true // owner's (possibly dirty) data returns home
+		}
+		switch {
+		case ninv > 0:
+			hold = s.p.L2RT + s.invIssueOccupancy(ninv)
+			ackWait = s.invAckLatency(maxHops, ninv)
+			if !d.inL2 {
+				hold += s.fetchFromMemory(p, home, line)
+			}
+		case d.inL2 || d.owner == core:
+			hold = s.p.L2RT
+		default:
+			hold = s.fetchFromMemory(p, home, line)
+		}
+		d.owner = core
+	}
+
+	p.Sleep(hold)
+
+	// Serialization point: sample, and for exclusive grants apply the
+	// update decided at acquire time (the value cannot have changed while
+	// the line was held). Grant state and data source are captured before
+	// releasing the line, since other transactions may mutate directory
+	// state while the reply is in flight.
+	old := s.words[addr]
+	grant := Shared
+	switch {
+	case f != nil:
+		s.words[addr] = rmwNew
+		grant = Modified
+	case noWriteRMW:
+		grant = Invalid // value-only reply, nothing installed
+	case d.owner == core:
+		grant = Exclusive
+	}
+	src := home
+	if fwdSrc >= 0 {
+		src = fwdSrc
+	}
+	// The home is done once the reply leaves; conflicting requests may be
+	// granted while our reply is in flight. The epoch check below keeps a
+	// fill that was overtaken by an invalidation from installing a stale
+	// copy.
+	s.trace(line, "t=%d core=%d served old=%d grant=%v", s.eng.Now(), core, old, grant)
+	// The home releases once the reply (and any invalidations) are issued;
+	// the requester pays the reply flight and, for writes, the farthest
+	// invalidation-ack round trip, whichever is longer. Ownership grants
+	// mark the line settling until then. The epoch check keeps a fill
+	// overtaken by a later invalidation from installing a stale copy.
+	epoch := s.l1[core].epochs[line]
+	wait := sim.Time(s.mesh.Latency(src, core)) + s.p.L1RT
+	if ackWait > wait {
+		wait = ackWait
+	}
+	if grant == Modified || grant == Exclusive {
+		d.settleAt = s.eng.Now() + wait
+	}
+	d.res.Release(p)
+	p.Sleep(wait)
+	if grant != Invalid && s.l1[core].epochs[line] == epoch {
+		s.fill(p, core, line, grant)
+		s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
+	}
+	return old, grant
+}
+
+// invIssueOccupancy is how long the home is busy issuing ninv
+// invalidations: serial unicast for the plain directory, per-level flit
+// replication with the Baseline+ virtual-tree multicast [22].
+func (s *System) invIssueOccupancy(ninv int) sim.Time {
+	s.Stats.Invalidations += uint64(ninv)
+	if s.p.TreeBroadcast {
+		return sim.Time(2 * log2ceil(ninv+1))
+	}
+	return sim.Time(2 * ninv)
+}
+
+// invAckLatency is the requester-visible latency until all invalidation
+// acks arrive, with maxHops the farthest target. The tree combines acks in
+// the network on the way back.
+func (s *System) invAckLatency(maxHops, ninv int) sim.Time {
+	rtt := sim.Time(2 * maxHops * int(s.mesh.HopLatency()))
+	if rtt == 0 {
+		rtt = sim.Time(2 * s.mesh.HopLatency())
+	}
+	if s.p.TreeBroadcast {
+		return rtt/2 + sim.Time(maxHops) + sim.Time(2*log2ceil(ninv+1))
+	}
+	return rtt
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// fetchFromMemory charges a trip from home to a memory controller and the
+// off-chip round trip, returning the added hold time. The controller port
+// is a bandwidth-limited resource.
+func (s *System) fetchFromMemory(p *sim.Proc, home int, line uint64) sim.Time {
+	s.Stats.MemFetches++
+	ci, cnode := s.mesh.ControllerFor(line)
+	lat := sim.Time(2 * s.mesh.Latency(home, cnode))
+	s.mc[ci].Acquire(p, "memctrl")
+	p.Sleep(s.p.MemCtrlOcc)
+	s.mc[ci].Release(p)
+	d := s.dirFor(line)
+	d.inL2 = true
+	return lat + s.p.MemRT
+}
+
+// invalidateL1 removes line from core's L1 and wakes any spinners on it.
+func (s *System) invalidateL1(core int, line uint64) {
+	c := &s.l1[core]
+	c.epochs[line]++
+	s.trace(line, "t=%d inv core=%d epoch->%d", s.eng.Now(), core, c.epochs[line])
+	set := c.sets[line&s.setsMask()]
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			set[i].state = Invalid
+			break
+		}
+	}
+	if q, ok := c.waiters[line]; ok && q.Len() > 0 {
+		// The invalidation message takes one hop-ish to arrive; the
+		// spinner notices on its next local probe.
+		q.WakeAll(sim.Time(s.mesh.HopLatency()) + s.p.L1RT)
+	}
+}
+
+// fill installs line into core's L1 in the given state, evicting the LRU
+// way if the set is full.
+func (s *System) fill(p *sim.Proc, core int, line uint64, st State) {
+	c := &s.l1[core]
+	idx := line & s.setsMask()
+	set := c.sets[idx]
+	// Prefer the slot already holding this line (an upgrade must replace
+	// its own copy, or the set ends up with the line in two ways), then
+	// any invalid slot.
+	slot := -1
+	for i := range set {
+		if set[i].line == line {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		for i := range set {
+			if set[i].state == Invalid {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot >= 0 {
+		set[slot] = l1slot{line: line, state: st}
+		if slot != 0 {
+			sl := set[slot]
+			copy(set[1:slot+1], set[0:slot])
+			set[0] = sl
+		}
+		return
+	}
+	if len(set) < s.p.L1Ways {
+		c.sets[idx] = append([]l1slot{{line: line, state: st}}, set...)
+		return
+	}
+	// Evict LRU (last).
+	victim := set[len(set)-1]
+	s.evict(core, victim)
+	copy(set[1:], set[:len(set)-1])
+	set[0] = l1slot{line: line, state: st}
+}
+
+// evict performs directory bookkeeping for a line displaced from core's L1.
+// Dirty data "returns" to the home L2. This is modeled as instantaneous
+// background traffic: eviction writebacks are off the critical path of the
+// access that triggered them.
+func (s *System) evict(core int, sl l1slot) {
+	s.Stats.Evictions++
+	d := s.dirFor(sl.line)
+	if d.owner == core {
+		d.owner = -1
+		d.inL2 = true
+	}
+	d.sharers.clear(core)
+	if q, ok := s.l1[core].waiters[sl.line]; ok && q.Len() > 0 {
+		q.WakeAll(s.p.L1RT)
+	}
+}
+
+// SpinUntil models a core spinning on the word at addr until cond holds,
+// the way hardware does it: read once, then sit on the locally cached copy
+// generating no traffic until the line is invalidated, then re-fetch.
+// It returns the value that satisfied cond.
+func (s *System) SpinUntil(p *sim.Proc, core int, addr uint64, cond func(uint64) bool) uint64 {
+	line := Line(addr)
+	c := &s.l1[core]
+	for {
+		v := s.Read(p, core, addr)
+		if cond(v) {
+			return v
+		}
+		if sl := c.lookup(s.setsMask(), line); sl == nil {
+			continue // already invalidated again; re-read
+		}
+		q, ok := c.waiters[line]
+		if !ok {
+			q = &sim.WaitQueue{}
+			c.waiters[line] = q
+		}
+		q.Wait(p, "spin")
+	}
+}
+
+// Poke sets a word without timing or coherence effects, for initializing
+// workload data. The line is marked present in L2 so later reads are not
+// charged cold off-chip misses unless coldMiss is desired (use PokeCold).
+func (s *System) Poke(addr, val uint64) {
+	s.words[addr] = val
+	s.dirFor(Line(addr)).inL2 = true
+}
+
+// PokeCold sets a word without marking the line L2-resident, so the first
+// access pays the off-chip fetch.
+func (s *System) PokeCold(addr, val uint64) {
+	s.words[addr] = val
+}
+
+// Peek returns a word's current value without timing effects.
+func (s *System) Peek(addr uint64) uint64 { return s.words[addr] }
+
+// L1State returns core's current L1 state for the line holding addr
+// (Invalid if absent), for tests.
+func (s *System) L1State(core int, addr uint64) State {
+	set := s.l1[core].sets[Line(addr)&s.setsMask()]
+	for i := range set {
+		if set[i].line == Line(addr) {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// DebugSet returns a dump of the L1 set holding addr at core, for tests.
+func (s *System) DebugSet(core int, addr uint64) []string {
+	var out []string
+	for _, sl := range s.l1[core].sets[Line(addr)&s.setsMask()] {
+		out = append(out, fmt.Sprintf("line=%#x state=%v", sl.line, sl.state))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package noc models the wired 2D-mesh on-chip network of Table 1:
+// XY-routed, 128-bit links, a configurable per-hop latency (4 cycles by
+// default), and four memory controllers attached at the edges.
+//
+// The mesh provides distance/latency queries to the coherence layer
+// (internal/mem), which adds its own queueing; the mesh itself is a latency
+// model with flit accounting. It also implements the virtual tree-based
+// broadcast cost model of Krishna et al. [22] used by the Baseline+
+// configuration for 1-to-many and many-to-1 traffic.
+package noc
+
+import "fmt"
+
+// Mesh is a 2D mesh interconnect for n nodes arranged cols x rows.
+type Mesh struct {
+	cols, rows int
+	hopLat     uint64
+	// FlitsSent counts point-to-point messages for statistics.
+	FlitsSent uint64
+	// mcs holds the node index nearest each memory-controller attach point.
+	mcs [4]int
+}
+
+// Dims returns the mesh dimensions used for n cores: the most-square
+// factorization with cols >= rows. Core counts in the paper are powers of
+// two from 16 to 256 (4x4, 8x4, 8x8, 16x8, 16x16).
+func Dims(n int) (cols, rows int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("noc: invalid node count %d", n))
+	}
+	best := 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			best = f
+		}
+	}
+	return n / best, best
+}
+
+// New returns a mesh for n nodes with the given per-hop latency in cycles.
+func New(n int, hopLatency uint64) *Mesh {
+	cols, rows := Dims(n)
+	m := &Mesh{cols: cols, rows: rows, hopLat: hopLatency}
+	// Memory controllers sit at the middle of each edge (Table 1: four
+	// controllers). Store the node they attach to.
+	m.mcs[0] = m.node(cols/2, 0)      // north
+	m.mcs[1] = m.node(cols/2, rows-1) // south
+	m.mcs[2] = m.node(0, rows/2)      // west
+	m.mcs[3] = m.node(cols-1, rows/2) // east
+	return m
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.cols * m.rows }
+
+// HopLatency returns the per-hop latency in cycles.
+func (m *Mesh) HopLatency() uint64 { return m.hopLat }
+
+// Coord returns the (x, y) position of node id.
+func (m *Mesh) Coord(id int) (x, y int) {
+	m.check(id)
+	return id % m.cols, id / m.cols
+}
+
+func (m *Mesh) node(x, y int) int { return y*m.cols + x }
+
+func (m *Mesh) check(id int) {
+	if id < 0 || id >= m.cols*m.rows {
+		panic(fmt.Sprintf("noc: node %d out of range [0,%d)", id, m.cols*m.rows))
+	}
+}
+
+// Hops returns the XY-routing hop count between nodes a and b.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Latency returns the one-way latency in cycles between nodes a and b and
+// counts one message. Same-node latency is one hop (the local router
+// crossing).
+func (m *Mesh) Latency(a, b int) uint64 {
+	m.FlitsSent++
+	h := m.Hops(a, b)
+	if h == 0 {
+		h = 1
+	}
+	return uint64(h) * m.hopLat
+}
+
+// MaxHops returns the mesh diameter in hops.
+func (m *Mesh) MaxHops() int { return m.cols - 1 + m.rows - 1 }
+
+// ControllerFor returns the node a memory request from addr's home bank is
+// routed to, interleaving lines across the four controllers.
+func (m *Mesh) ControllerFor(line uint64) (ctrl int, node int) {
+	c := int(line % 4)
+	return c, m.mcs[c]
+}
+
+// BroadcastLatency returns the latency for a 1-to-many virtual-tree
+// multicast from src covering dst destinations (Baseline+ flit replication
+// at router crossbars): the farthest destination distance dominates, with
+// replication adding one cycle per tree level rather than per destination.
+func (m *Mesh) BroadcastLatency(src int, maxHops int) uint64 {
+	m.FlitsSent++
+	if maxHops <= 0 {
+		maxHops = m.MaxHops()
+	}
+	return uint64(maxHops)*m.hopLat + uint64(log2ceil(m.Nodes()))
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

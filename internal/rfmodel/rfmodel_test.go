@@ -1,0 +1,85 @@
+package rfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func within(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestScaleReproducesPaperNumbers(t *testing.T) {
+	// Section 2: 65nm (0.23mm2, 31.2mW, 16Gb/s) -> 22nm (0.1mm2, 16mW).
+	d := Scale(Yu65, 22)
+	if !within(d.AreaMM2, 0.10, 0.005) {
+		t.Errorf("area at 22nm = %.4f, want ~0.10", d.AreaMM2)
+	}
+	if !within(d.PowerMW, 16, 0.5) {
+		t.Errorf("power at 22nm = %.2f, want ~16", d.PowerMW)
+	}
+	if d.BandwidthGbps != 16 {
+		t.Errorf("bandwidth changed: %v", d.BandwidthGbps)
+	}
+}
+
+func TestScaleIsIdentityAtOrAboveNode(t *testing.T) {
+	if d := Scale(Yu65, 65); d != Yu65 {
+		t.Errorf("Scale to same node changed the design: %+v", d)
+	}
+	if d := Scale(Yu65, 90); d != Yu65 {
+		t.Errorf("Scale up changed the design: %+v", d)
+	}
+}
+
+func TestScaleMonotone(t *testing.T) {
+	prevA, prevP := Yu65.AreaMM2, Yu65.PowerMW
+	for _, nm := range []int{45, 32, 22, 16} {
+		d := Scale(Yu65, nm)
+		if d.AreaMM2 >= prevA {
+			t.Errorf("area not shrinking at %dnm: %v >= %v", nm, d.AreaMM2, prevA)
+		}
+		if d.PowerMW > prevP {
+			t.Errorf("power grew at %dnm: %v > %v", nm, d.PowerMW, prevP)
+		}
+		prevA, prevP = d.AreaMM2, d.PowerMW
+	}
+}
+
+func TestWiSyncNode22Totals(t *testing.T) {
+	// Table 1: 0.14 mm^2 (0.12 in the table is transceiver+antennas at a
+	// slightly different accounting; Table 4 uses 0.14) and 18 mW.
+	area, power := WiSyncNode22()
+	if !within(area, 0.14, 0.01) {
+		t.Errorf("area = %.3f, want ~0.14", area)
+	}
+	if !within(power, 18, 0.6) {
+		t.Errorf("power = %.2f, want ~18", power)
+	}
+}
+
+func TestTable4Percentages(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !within(rows[0].AreaPct, 0.7, 0.1) || !within(rows[0].PowerPct, 0.4, 0.1) {
+		t.Errorf("Xeon: %.2f%% area, %.2f%% power (paper 0.7, 0.4)", rows[0].AreaPct, rows[0].PowerPct)
+	}
+	if !within(rows[1].AreaPct, 5.6, 0.4) || !within(rows[1].PowerPct, 1.8, 0.2) {
+		t.Errorf("Atom: %.2f%% area, %.2f%% power (paper 5.6, 1.8)", rows[1].AreaPct, rows[1].PowerPct)
+	}
+	if s := rows[0].String(); !strings.Contains(s, "Xeon") {
+		t.Errorf("row String() = %q", s)
+	}
+}
+
+func TestGenerations(t *testing.T) {
+	cases := []struct{ from, to, want int }{
+		{65, 65, 0}, {65, 45, 1}, {65, 22, 3}, {65, 16, 4}, {45, 22, 2}, {22, 65, 0},
+	}
+	for _, c := range cases {
+		if got := generations(c.from, c.to); got != c.want {
+			t.Errorf("generations(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}

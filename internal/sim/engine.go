@@ -1,0 +1,218 @@
+// Package sim implements a deterministic, single-threaded discrete-event
+// simulation engine with cooperative processes.
+//
+// The engine advances a cycle-resolution clock and executes events in
+// (time, priority, sequence) order, so identical inputs always produce
+// identical simulations. Hardware models are written either as plain
+// callback events or as processes: goroutines that run one at a time,
+// hand control back to the engine whenever they sleep or park, and are
+// resumed by scheduled events. The engine owns all randomness through a
+// seeded splitmix64 generator, keeping collision backoff and workload
+// jitter reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a simulation timestamp in processor cycles (1 ns at 1 GHz).
+type Time uint64
+
+// Priority orders events that fire on the same cycle. Lower runs first.
+// Most events use PrioNormal; arbiters that must observe every request
+// registered during a cycle run at PrioLate.
+type Priority int8
+
+const (
+	// PrioNormal is the default event priority.
+	PrioNormal Priority = 0
+	// PrioLate runs after all same-cycle PrioNormal events. Channel
+	// arbiters use it so that every transmit request registered during a
+	// cycle participates in that cycle's contention slot.
+	PrioLate Priority = 1
+)
+
+type event struct {
+	t    Time
+	prio Priority
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *Rand
+	handoff chan struct{}
+	procs   map[*Proc]struct{}
+	current *Proc
+	pv      any
+	pstack  []byte
+	stopped bool
+}
+
+// NewEngine returns an engine whose random stream is derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:     NewRand(seed),
+		handoff: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Schedule runs fn after d cycles at normal priority.
+func (e *Engine) Schedule(d Time, fn func()) { e.ScheduleAt(e.now+d, PrioNormal, fn) }
+
+// ScheduleAt runs fn at absolute time t with the given priority. Scheduling
+// in the past is an error and panics: it would silently reorder causality.
+func (e *Engine) ScheduleAt(t Time, prio Priority, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, prio: prio, seq: e.seq, fn: fn})
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still parked, i.e. the simulated system deadlocked.
+type DeadlockError struct {
+	// Parked lists "name: reason" for every stuck process.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d process(es) parked: %v", len(d.Parked), d.Parked)
+}
+
+// Run executes events until none remain. It returns a *DeadlockError if
+// processes are still alive afterwards, and propagates any panic raised
+// inside a process.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.checkDeadlock()
+}
+
+// RunUntil executes all events with timestamp <= t, then advances the clock
+// to t. Processes still running are left parked; call Shutdown to reclaim
+// their goroutines.
+func (e *Engine) RunUntil(t Time) error {
+	for len(e.events) > 0 && e.events[0].t <= t {
+		e.step()
+		if e.pv != nil {
+			e.rethrow()
+		}
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.t
+	ev.fn()
+	if e.pv != nil {
+		e.rethrow()
+	}
+}
+
+func (e *Engine) rethrow() {
+	pv, st := e.pv, e.pstack
+	e.pv, e.pstack = nil, nil
+	panic(fmt.Sprintf("sim: process panic: %v\n%s", pv, st))
+}
+
+func (e *Engine) checkDeadlock() error {
+	if len(e.procs) == 0 {
+		return nil
+	}
+	var parked []string
+	for p := range e.procs {
+		parked = append(parked, p.name+": "+p.reason)
+	}
+	sort.Strings(parked)
+	return &DeadlockError{Parked: parked}
+}
+
+// Shutdown terminates every live process goroutine (running their defers)
+// and marks the engine stopped. It must be called after RunUntil when
+// processes may still be alive, or the goroutines leak.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.handoff
+	}
+	e.procs = make(map[*Proc]struct{})
+	e.pv, e.pstack = nil, nil
+	e.stopped = true
+}
+
+// Stopped reports whether Shutdown has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Live returns the number of processes that have been started and have not
+// yet finished.
+func (e *Engine) Live() int { return len(e.procs) }
+
+func (e *Engine) dispatch(p *Proc) {
+	if p.done || p.killed {
+		return
+	}
+	if !p.parked {
+		panic("sim: dispatch of a process that is not parked (double wake?)")
+	}
+	prev := e.current
+	e.current = p
+	p.parked = false
+	p.wakeQueued = false
+	p.resume <- struct{}{}
+	<-e.handoff
+	e.current = prev
+	if p.done {
+		delete(e.procs, p)
+	}
+}

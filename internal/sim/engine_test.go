@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestSameCyclePriority(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.ScheduleAt(5, PrioLate, func() { got = append(got, "late") })
+	e.ScheduleAt(5, PrioNormal, func() { got = append(got, "normal") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "normal" || got[1] != "late" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(3, PrioNormal, func() {})
+	})
+	_ = e.Run()
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Go("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(7)
+		times = append(times, p.Now())
+		p.Sleep(0)
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 0 || times[1] != 7 || times[2] != 7 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Time(i))
+			got = append(got, fmt.Sprintf("%s@%d", p.Name(), p.Now()))
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0@0", "p1@1", "p2@2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(42)
+		var log []string
+		var res Resource
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(Time(e.Rand().Intn(4)))
+				res.Acquire(p, "res")
+				log = append(log, fmt.Sprintf("%d@%d", i, p.Now()))
+				p.Sleep(3)
+				res.Release(p)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEngine(1)
+	var p1 *Proc
+	var woke Time
+	p1 = e.Go("waiter", func(p *Proc) {
+		p.Park("waiting for signal")
+		woke = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(20)
+		p1.Wake(5)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 25 {
+		t.Fatalf("woke at %d, want 25", woke)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("stuck", func(p *Proc) { p.Park("never woken") })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck: never woken" {
+		t.Fatalf("Parked = %v", de.Parked)
+	}
+	e.Shutdown()
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	e := NewEngine(1)
+	var p1 *Proc
+	p1 = e.Go("waiter", func(p *Proc) { p.Park("x") })
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(1)
+		p1.Wake(0)
+		defer func() {
+			if recover() == nil {
+				t.Error("double Wake did not panic")
+			}
+		}()
+		p1.Wake(0)
+	})
+	defer func() { recover() }()
+	_ = e.Run()
+}
+
+func TestRunUntilAndShutdown(t *testing.T) {
+	e := NewEngine(1)
+	var steps int
+	var cleaned bool
+	e.Go("worker", func(p *Proc) {
+		defer func() { cleaned = true }()
+		for {
+			p.Sleep(10)
+			steps++
+		}
+	})
+	if err := e.RunUntil(55); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %d, want 55", e.Now())
+	}
+	e.Shutdown()
+	if !cleaned {
+		t.Fatal("defer did not run on Shutdown")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after Shutdown", e.Live())
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("bomb", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("process panic did not propagate")
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestWaitQueue(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var order []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(i)) // deterministic enqueue order
+			q.Wait(p, "queued")
+			order = append(order, p.Name())
+		})
+	}
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(10)
+		if q.Len() != 3 {
+			t.Errorf("Len = %d, want 3", q.Len())
+		}
+		q.WakeAll(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQueueWakeOneAndRemove(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var woken []string
+	procs := make([]*Proc, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		procs[i] = e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(i))
+			q.Wait(p, "queued")
+			woken = append(woken, p.Name())
+		})
+	}
+	e.Go("ctl", func(p *Proc) {
+		p.Sleep(10)
+		if !q.Remove(procs[0]) {
+			t.Error("Remove(w0) = false")
+		}
+		procs[0].Wake(0) // removed waiters must be woken manually
+		q.WakeOne(0)     // wakes w1
+		q.WakeOne(0)     // wakes w2
+		if q.WakeOne(0) {
+			t.Error("WakeOne on empty queue = true")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if woken[i] != want[i] {
+			t.Fatalf("woken = %v, want %v", woken, want)
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var r Resource
+	var order []string
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Time(i)) // request order p0..p3
+			r.Acquire(p, "bank")
+			order = append(order, fmt.Sprintf("%s@%d", p.Name(), p.Now()))
+			p.Sleep(10)
+			r.Release(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0@0", "p1@10", "p2@20", "p3@30"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if r.BusyCycles != 40 {
+		t.Fatalf("BusyCycles = %d, want 40", r.BusyCycles)
+	}
+}
+
+func TestResourceReleaseByNonOwnerPanics(t *testing.T) {
+	e := NewEngine(1)
+	var r Resource
+	e.Go("owner", func(p *Proc) {
+		r.Acquire(p, "res")
+		p.Sleep(5)
+		r.Release(p)
+	})
+	e.Go("thief", func(p *Proc) {
+		p.Sleep(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("Release by non-owner did not panic")
+			}
+		}()
+		r.Release(p)
+	})
+	defer func() { recover() }()
+	_ = e.Run()
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(7).Uint64() == NewRand(8).Uint64() {
+		t.Fatal("different seeds produced identical first value")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(3)
+	err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(100, 0.25, 1)
+		if v < 75 || v > 125 {
+			t.Fatalf("Jitter = %v outside [75,125]", v)
+		}
+	}
+	if v := r.Jitter(0.5, 0.9, 1); v != 1 {
+		t.Fatalf("Jitter floor = %v, want 1", v)
+	}
+}
+
+func TestForkIndependentStreams(t *testing.T) {
+	r := NewRand(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+}
+
+// TestManyProcsStress runs a few hundred processes through a contended
+// resource to shake out handoff bugs.
+func TestManyProcsStress(t *testing.T) {
+	e := NewEngine(99)
+	var r Resource
+	var count int
+	const n = 300
+	for i := 0; i < n; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Time(e.Rand().Intn(50)))
+			r.Acquire(p, "res")
+			p.Sleep(1)
+			count++
+			r.Release(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import "runtime"
+
+// Proc is a cooperative simulation process. Exactly one process runs at any
+// instant; a process yields control by sleeping or parking, and the engine
+// resumes it from a scheduled event. All Proc methods must be called from
+// the process's own goroutine, except Wake, which is called by whoever
+// unblocks it.
+type Proc struct {
+	eng        *Engine
+	name       string
+	resume     chan struct{}
+	done       bool
+	killed     bool
+	parked     bool
+	wakeQueued bool
+	reason     string
+}
+
+// Go starts fn as a new process. The process begins running at the current
+// simulation time (after already-queued same-cycle events).
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Go after Shutdown")
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}), parked: true}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.eng.pv = r
+				p.eng.pstack = debugStack()
+			}
+			p.done = true
+			p.eng.handoff <- struct{}{}
+		}()
+		<-p.resume
+		if p.killed {
+			return
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// yield transfers control to the engine and blocks until dispatched again.
+func (p *Proc) yield() {
+	p.eng.handoff <- struct{}{}
+	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
+}
+
+// Sleep suspends the process for d cycles. Sleep(0) yields and resumes in
+// the same cycle, after other already-queued same-cycle events.
+func (p *Proc) Sleep(d Time) {
+	p.parked = true
+	p.wakeQueued = true
+	p.reason = "sleep"
+	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t is not
+// in the future).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Park suspends the process indefinitely; some other event must call Wake.
+// The reason string is reported in deadlock diagnostics.
+func (p *Proc) Park(reason string) {
+	p.parked = true
+	p.reason = reason
+	p.yield()
+}
+
+// Wake schedules a parked process to resume after d cycles. Waking a
+// process that is not parked, or that already has a wake queued, panics:
+// both indicate a bookkeeping bug in the caller.
+func (p *Proc) Wake(d Time) {
+	if !p.parked || p.wakeQueued {
+		panic("sim: Wake of process " + p.name + " that is not parked or already woken")
+	}
+	p.wakeQueued = true
+	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+}
+
+// Parked reports whether the process is currently parked without a pending
+// wake event.
+func (p *Proc) Parked() bool { return p.parked && !p.wakeQueued }
+
+func debugStack() []byte { return stackBytes() }

@@ -1,0 +1,5 @@
+package sim
+
+import "runtime/debug"
+
+func stackBytes() []byte { return debug.Stack() }

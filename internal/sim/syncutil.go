@@ -1,0 +1,98 @@
+package sim
+
+// WaitQueue is a FIFO list of parked processes. Hardware models use it to
+// block processes on a condition and wake them when the condition changes.
+// The zero value is an empty queue ready to use.
+type WaitQueue struct {
+	ps []*Proc
+}
+
+// Wait parks p on the queue until some other event wakes it.
+func (q *WaitQueue) Wait(p *Proc, reason string) {
+	q.ps = append(q.ps, p)
+	p.Park(reason)
+}
+
+// Len returns the number of waiting processes.
+func (q *WaitQueue) Len() int { return len(q.ps) }
+
+// WakeAll wakes every waiter after d cycles, in FIFO order.
+func (q *WaitQueue) WakeAll(d Time) {
+	for _, p := range q.ps {
+		p.Wake(d)
+	}
+	q.ps = nil
+}
+
+// WakeOne wakes the oldest waiter after d cycles. It reports whether a
+// process was woken.
+func (q *WaitQueue) WakeOne(d Time) bool {
+	if len(q.ps) == 0 {
+		return false
+	}
+	p := q.ps[0]
+	q.ps = q.ps[1:]
+	p.Wake(d)
+	return true
+}
+
+// Remove drops p from the queue without waking it. It reports whether p was
+// found. The caller is responsible for waking p by other means.
+func (q *WaitQueue) Remove(p *Proc) bool {
+	for i, w := range q.ps {
+		if w == p {
+			q.ps = append(q.ps[:i], q.ps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Resource is a FIFO mutual-exclusion resource in simulation time, used to
+// model structures that serve one transaction at a time (a directory line,
+// an L2 bank, a memory controller port). The zero value is free.
+type Resource struct {
+	owner *Proc
+	q     []*Proc
+	// BusyCycles accumulates total time the resource was held, for
+	// utilization statistics. Updated on Release.
+	BusyCycles Time
+	acquiredAt Time
+}
+
+// Acquire blocks p until it owns the resource. Ownership is granted in
+// request order.
+func (r *Resource) Acquire(p *Proc, reason string) {
+	if r.owner == nil {
+		r.owner = p
+		r.acquiredAt = p.eng.now
+		return
+	}
+	r.q = append(r.q, p)
+	p.Park(reason)
+	// The releaser set r.owner = p before waking us.
+	r.acquiredAt = p.eng.now
+}
+
+// Release hands the resource to the oldest waiter, or frees it. Only the
+// current owner may call Release.
+func (r *Resource) Release(p *Proc) {
+	if r.owner != p {
+		panic("sim: Release by non-owner")
+	}
+	r.BusyCycles += p.eng.now - r.acquiredAt
+	if len(r.q) == 0 {
+		r.owner = nil
+		return
+	}
+	next := r.q[0]
+	r.q = r.q[1:]
+	r.owner = next
+	next.Wake(0)
+}
+
+// QueueLen returns the number of processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.q) }
+
+// Held reports whether the resource is currently owned.
+func (r *Resource) Held() bool { return r.owner != nil }

@@ -1,0 +1,161 @@
+package syncprims
+
+import (
+	"fmt"
+
+	"wisync/internal/core"
+)
+
+// centralBarrier is the Baseline barrier: a centralized sense-reversing
+// barrier [16] with the arrival count incremented by a CAS retry loop (CAS
+// is the Baseline machine's only atomic, Table 2) and a release flag on a
+// separate cache line. Episode numbers replace the boolean sense so the
+// barrier is trivially reusable. Under simultaneous arrivals the CAS loop
+// serializes one full load+CAS round trip per arriver — the cost the paper
+// measures for Baseline in Figure 7.
+type centralBarrier struct {
+	count   uint64
+	release uint64
+	n       uint64
+	ep      []uint64 // per-core episode
+}
+
+func newCentralBarrier(m *core.Machine, participants int) *centralBarrier {
+	return &centralBarrier{
+		count:   m.AllocLine(),
+		release: m.AllocLine(),
+		n:       uint64(participants),
+		ep:      make([]uint64, m.Cfg.Cores),
+	}
+}
+
+func (b *centralBarrier) Wait(t *core.Thread) {
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	var arrived uint64
+	for {
+		c := t.Read(b.count)
+		if t.CAS(b.count, c, c+1) {
+			arrived = c + 1
+			break
+		}
+		t.Instr(4)
+	}
+	if arrived == b.n {
+		t.Write(b.count, 0)
+		t.Write(b.release, ep)
+		return
+	}
+	t.SpinUntil(b.release, func(v uint64) bool { return v >= ep })
+}
+
+// tournamentBarrier is the Baseline+ barrier [31]: threads play a
+// single-elimination tournament; at each round the statically-determined
+// loser sets the winner's arrival flag and spins on its own wakeup flag.
+// The champion then wakes its beaten opponents in reverse order, and each
+// woken thread wakes the opponents it beat. Every flag lives on its own
+// line, so all spinning is local.
+type tournamentBarrier struct {
+	n      int
+	rounds int
+	// arrive[r*n+idx] is the flag the round-r loser sets for winner idx.
+	arrive []uint64
+	// wake[idx] releases thread idx.
+	wake []uint64
+	ep   []uint64
+}
+
+func newTournamentBarrier(m *core.Machine, participants int) *tournamentBarrier {
+	rounds := 0
+	for v := 1; v < participants; v <<= 1 {
+		rounds++
+	}
+	b := &tournamentBarrier{
+		n:      participants,
+		rounds: rounds,
+		arrive: make([]uint64, rounds*participants),
+		wake:   make([]uint64, participants),
+		ep:     make([]uint64, m.Cfg.Cores),
+	}
+	for i := range b.arrive {
+		b.arrive[i] = m.AllocLine()
+	}
+	for i := range b.wake {
+		b.wake[i] = m.AllocLine()
+	}
+	return b
+}
+
+func (b *tournamentBarrier) Wait(t *core.Thread) {
+	idx := t.Core
+	if idx >= b.n {
+		panic(fmt.Sprintf("syncprims: thread %d beyond tournament size %d", idx, b.n))
+	}
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	lose := b.rounds
+	for r := 0; r < b.rounds; r++ {
+		t.Instr(10) // round bookkeeping: role/partner/flag computation
+		if idx&((1<<(r+1))-1) == 0 {
+			// Potential winner of round r: wait for the partner
+			// (or take a bye if it does not exist).
+			partner := idx + 1<<r
+			if partner < b.n {
+				t.SpinUntil(b.arrive[r*b.n+idx], func(v uint64) bool { return v >= ep })
+			}
+			continue
+		}
+		// Loser of round r: report to the winner, then sleep.
+		lose = r
+		winner := idx - 1<<r
+		t.Write(b.arrive[r*b.n+winner], ep)
+		t.SpinUntil(b.wake[idx], func(v uint64) bool { return v >= ep })
+		break
+	}
+	// Wake everyone this thread beat, in reverse round order.
+	for r := lose - 1; r >= 0; r-- {
+		partner := idx + 1<<r
+		if partner < b.n {
+			t.Write(b.wake[partner], ep)
+		}
+	}
+}
+
+// dataBarrier is the WiSync Data-channel barrier (Section 4.3.2): a
+// sense-reversing barrier in one 64-bit BM entry — arrival count in the
+// low half, release episode in the high half, exactly the packing the
+// paper suggests. Arrivals fetch&inc over the wireless channel; waiting
+// spins on the local BM replica.
+type dataBarrier struct {
+	addr uint32
+	n    uint64
+	ep   []uint64
+}
+
+func (b *dataBarrier) Wait(t *core.Thread) {
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	old := t.BMFetchAdd(b.addr, 1)
+	if (old&0xffffffff)+1 == b.n {
+		// Last arriver: zero the count and publish the episode in one
+		// wireless message.
+		t.BMStore(b.addr, ep<<32)
+		return
+	}
+	t.BMSpinUntil(b.addr, func(v uint64) bool { return v>>32 >= ep })
+}
+
+// toneBarrier is the WiSync Tone-channel barrier (Section 4.3.3, Figure
+// 4(c)): tone_st on arrival, then spin with tone_ld on the local BM entry,
+// which the tone controllers toggle when the channel falls silent.
+type toneBarrier struct {
+	addr  uint32
+	sense []uint64
+}
+
+func (b *toneBarrier) Wait(t *core.Thread) {
+	s := b.sense[t.Core]
+	t.ToneStore(b.addr)
+	t.ToneWait(b.addr, s)
+	b.sense[t.Core] ^= 1
+}

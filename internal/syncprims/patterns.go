@@ -1,0 +1,168 @@
+package syncprims
+
+import "wisync/internal/core"
+
+// Eureka is an OR-barrier (Section 4.3.2): it fires as soon as any
+// participant triggers it — a parallel search hit, an overflow, an
+// exception. It is reusable through per-core generation counters (the
+// sense-reversing idea with an epoch instead of a boolean).
+type Eureka struct {
+	v   Var
+	gen []uint64
+}
+
+// NewEureka allocates an OR-barrier.
+func (f *Factory) NewEureka() *Eureka {
+	return &Eureka{v: f.NewVar(0), gen: make([]uint64, f.m.Cfg.Cores)}
+}
+
+// Trigger fires the eureka for the current generation. Multiple triggers of
+// one generation are idempotent.
+func (e *Eureka) Trigger(t *core.Thread) {
+	gen := e.gen[t.Core]
+	if e.v.Load(t) > gen {
+		return // already fired
+	}
+	e.v.Store(t, gen+1)
+}
+
+// Triggered polls whether the current generation has fired.
+func (e *Eureka) Triggered(t *core.Thread) bool {
+	return e.v.Load(t) > e.gen[t.Core]
+}
+
+// WaitTriggered blocks until the current generation fires.
+func (e *Eureka) WaitTriggered(t *core.Thread) {
+	gen := e.gen[t.Core]
+	e.v.SpinUntil(t, func(v uint64) bool { return v > gen })
+}
+
+// Ack consumes the current generation locally, re-arming the eureka for
+// reuse by this thread.
+func (e *Eureka) Ack(t *core.Thread) { e.gen[t.Core]++ }
+
+// PC is a single-producer single-consumer channel (Section 4.3.4): a data
+// area plus a full/empty flag. On WiSync machines with word count 4 the
+// producer uses one Bulk store (15 cycles) instead of four messages.
+type PC struct {
+	words  int
+	bulk   bool
+	bmData uint32 // contiguous BM words when bulk
+	data   []Var  // otherwise
+	flag   Var
+}
+
+// NewPC allocates a producer-consumer channel carrying the given number of
+// 64-bit words (1..4).
+func (f *Factory) NewPC(words int) *PC {
+	if words < 1 || words > 4 {
+		panic("syncprims: PC carries 1..4 words")
+	}
+	pc := &PC{words: words, flag: f.NewVar(0)}
+	if words == 4 && f.m.Cfg.Kind.HasBM() {
+		if base, err := f.m.BM.AllocBareContiguous(f.pid, 4); err == nil {
+			pc.bulk = true
+			pc.bmData = base
+			return pc
+		}
+		f.Spills++
+	}
+	pc.data = make([]Var, words)
+	for i := range pc.data {
+		pc.data[i] = f.NewVar(0)
+	}
+	return pc
+}
+
+// Produce publishes vals (len == words): wait for the slot to be empty,
+// write the data, set the flag.
+func (pc *PC) Produce(t *core.Thread, vals []uint64) {
+	pc.flag.SpinUntil(t, func(v uint64) bool { return v == 0 })
+	if pc.bulk {
+		var four [4]uint64
+		copy(four[:], vals)
+		t.BMBulkStore(pc.bmData, four)
+	} else {
+		for i, v := range vals {
+			pc.data[i].Store(t, v)
+		}
+	}
+	pc.flag.Store(t, 1)
+}
+
+// Consume blocks until data is available, reads it into out (len == words),
+// and clears the flag.
+func (pc *PC) Consume(t *core.Thread, out []uint64) {
+	pc.flag.SpinUntil(t, func(v uint64) bool { return v == 1 })
+	if pc.bulk {
+		four := t.BMBulkLoad(pc.bmData)
+		copy(out, four[:])
+	} else {
+		for i := range out {
+			out[i] = pc.data[i].Load(t)
+		}
+	}
+	pc.flag.Store(t, 0)
+}
+
+// Multicast is the single-producer multiple-consumer pattern of Section
+// 4.3.5 / Figure 4(d): data plus a reader count and a toggling flag packed
+// as a sense-reversing release.
+type Multicast struct {
+	data    Var
+	count   Var
+	flag    Var
+	readers uint64
+	sense   []uint64
+}
+
+// NewMulticast allocates a multicast slot with the given reader count.
+func (f *Factory) NewMulticast(readers int) *Multicast {
+	return &Multicast{
+		data:    f.NewVar(0),
+		count:   f.NewVar(0),
+		flag:    f.NewVar(0),
+		readers: uint64(readers),
+		sense:   make([]uint64, f.m.Cfg.Cores),
+	}
+}
+
+// Produce publishes val to all readers and waits until every reader took
+// it: write data, set count to N, toggle the flag, spin on count == 0.
+func (mc *Multicast) Produce(t *core.Thread, val uint64) {
+	s := mc.sense[t.Core] ^ 1
+	mc.sense[t.Core] = s
+	mc.data.Store(t, val)
+	mc.count.Store(t, mc.readers)
+	mc.flag.Store(t, s)
+	mc.count.SpinUntil(t, func(v uint64) bool { return v == 0 })
+}
+
+// Consume blocks for the next published value and acknowledges it: spin on
+// the flag toggle, read data, fetch&add(count, -1).
+func (mc *Multicast) Consume(t *core.Thread) uint64 {
+	s := mc.sense[t.Core] ^ 1
+	mc.sense[t.Core] = s
+	mc.flag.SpinUntil(t, func(v uint64) bool { return v == s })
+	v := mc.data.Load(t)
+	mc.count.FetchAdd(t, ^uint64(0)) // -1
+	return v
+}
+
+// Reducer accumulates values from many threads into one variable with
+// fetch&add — the tight reduction loop of Section 4.3.5.
+type Reducer struct {
+	v Var
+}
+
+// NewReducer allocates a reduction variable initialized to init.
+func (f *Factory) NewReducer(init uint64) *Reducer { return &Reducer{v: f.NewVar(init)} }
+
+// Add contributes delta.
+func (r *Reducer) Add(t *core.Thread, delta uint64) { r.v.FetchAdd(t, delta) }
+
+// Value reads the current total.
+func (r *Reducer) Value(t *core.Thread) uint64 { return r.v.Load(t) }
+
+// Var exposes the underlying variable (for draining or resetting).
+func (r *Reducer) Var() Var { return r.v }

@@ -1,0 +1,51 @@
+// Package syncprims implements the synchronization primitives the paper's
+// evaluation compares (Table 2), against a backend-neutral interface:
+//
+//   - Baseline: CAS spinlocks and a centralized sense-reversing barrier
+//     over the cache hierarchy.
+//   - Baseline+: MCS queue locks [31] and tournament barriers [31], plus
+//     the virtual-tree NoC broadcast (enabled inside package mem).
+//   - WiSyncNoT: test&set locks and fetch&inc barriers in Broadcast Memory
+//     over the wireless Data channel.
+//   - WiSync: the same locks, but barriers through the Tone channel.
+//
+// It also provides the higher-level idioms of Section 4.3: OR-barriers
+// (eurekas), producer-consumer channels (with Bulk transfers), reductions,
+// and multicast.
+//
+// Workload code obtains primitives from a Factory, which picks the
+// implementation matching the machine's configuration, including the
+// paper's overflow rule: when the BM fills up, variables transparently
+// spill to regular cached memory (Section 4.2, as exercised by dedup and
+// fluidanimate).
+package syncprims
+
+import (
+	"wisync/internal/core"
+)
+
+// Barrier blocks each participant until all participants arrive.
+type Barrier interface {
+	Wait(t *core.Thread)
+}
+
+// Lock is a mutual exclusion lock.
+type Lock interface {
+	Acquire(t *core.Thread)
+	Release(t *core.Thread)
+}
+
+// Var is a 64-bit shared synchronization variable.
+type Var interface {
+	Load(t *core.Thread) uint64
+	Store(t *core.Thread, v uint64)
+	// CAS performs compare-and-swap and reports whether it swapped.
+	CAS(t *core.Thread, old, nv uint64) bool
+	// FetchAdd atomically adds delta, returning the previous value.
+	FetchAdd(t *core.Thread, delta uint64) uint64
+	// SpinUntil spins (hardware-faithfully for the backend) until cond
+	// holds, returning the satisfying value.
+	SpinUntil(t *core.Thread, cond func(uint64) bool) uint64
+	// InBM reports whether the variable lives in Broadcast Memory.
+	InBM() bool
+}

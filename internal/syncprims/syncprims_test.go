@@ -1,0 +1,503 @@
+package syncprims
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/sim"
+)
+
+func newMachine(t *testing.T, kind config.Kind, cores int) *core.Machine {
+	t.Helper()
+	return core.NewMachine(config.New(kind, cores))
+}
+
+func forAllKinds(t *testing.T, cores int, fn func(t *testing.T, m *core.Machine)) {
+	for _, k := range config.Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			fn(t, newMachine(t, k, cores))
+		})
+	}
+}
+
+func TestBarrierSynchronizesAllKinds(t *testing.T) {
+	const cores, episodes = 16, 4
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		b := f.NewBarrier(nil)
+		phase := make([]int, cores)
+		m.SpawnAll(func(th *core.Thread) {
+			for e := 0; e < episodes; e++ {
+				th.Compute(th.Proc().Engine().Rand().Intn(100))
+				phase[th.Core] = e
+				b.Wait(th)
+				for j := 0; j < cores; j++ {
+					if phase[j] < e {
+						t.Errorf("thread %d passed episode %d while %d is at %d",
+							th.Core, e, j, phase[j])
+					}
+				}
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBarrierNoThreadReleasedEarly(t *testing.T) {
+	// One thread arrives very late; nobody may be released before it.
+	const cores = 8
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		b := f.NewBarrier(nil)
+		const lateArrival = 5000
+		var releases []sim.Time
+		m.SpawnAll(func(th *core.Thread) {
+			if th.Core == cores-1 {
+				th.Compute(lateArrival)
+			}
+			b.Wait(th)
+			releases = append(releases, th.Proc().Now())
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(releases) != cores {
+			t.Fatalf("released %d, want %d", len(releases), cores)
+		}
+		for _, r := range releases {
+			if r < lateArrival {
+				t.Errorf("release at %d before late arrival at %d", r, lateArrival)
+			}
+		}
+	})
+}
+
+func TestLockMutualExclusionAllKinds(t *testing.T) {
+	const cores, iters = 16, 8
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		l := f.NewLock()
+		var inside, maxInside, total int
+		m.SpawnAll(func(th *core.Thread) {
+			for i := 0; i < iters; i++ {
+				th.Compute(th.Proc().Engine().Rand().Intn(60))
+				l.Acquire(th)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				total++
+				th.Compute(20)
+				th.Sync() // make the hold time architectural
+				inside--
+				l.Release(th)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if maxInside != 1 {
+			t.Errorf("max threads inside critical section = %d", maxInside)
+		}
+		if total != cores*iters {
+			t.Errorf("total entries = %d, want %d", total, cores*iters)
+		}
+	})
+}
+
+func TestLockContendedHandoffProgress(t *testing.T) {
+	// All threads pile on the lock at once; everyone must get it.
+	const cores = 32
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		l := f.NewLock()
+		var got int
+		m.SpawnAll(func(th *core.Thread) {
+			l.Acquire(th)
+			got++
+			l.Release(th)
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != cores {
+			t.Errorf("acquisitions = %d, want %d", got, cores)
+		}
+	})
+}
+
+func TestVarCASAndFetchAdd(t *testing.T) {
+	const cores = 8
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		v := f.NewVar(0)
+		m.SpawnAll(func(th *core.Thread) {
+			for i := 0; i < 10; i++ {
+				v.FetchAdd(th, 1)
+			}
+			// CAS loop adds 5 more per thread.
+			for added := 0; added < 5; {
+				old := v.Load(th)
+				if v.CAS(th, old, old+1) {
+					added++
+				}
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Check final value through a fresh reader thread.
+		var final uint64
+		m.Spawn("reader", 0, 1, func(th *core.Thread) { final = v.Load(th) })
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if final != cores*15 {
+			t.Errorf("final = %d, want %d", final, cores*15)
+		}
+	})
+}
+
+func TestVarBackendSelection(t *testing.T) {
+	mW := newMachine(t, config.WiSync, 4)
+	if v := NewFactory(mW).NewVar(0); !v.InBM() {
+		t.Error("WiSync variable not in BM")
+	}
+	mB := newMachine(t, config.Baseline, 4)
+	if v := NewFactory(mB).NewVar(0); v.InBM() {
+		t.Error("Baseline variable in BM")
+	}
+}
+
+func TestBMSpillToCachedMemory(t *testing.T) {
+	cfg := config.New(config.WiSync, 4)
+	cfg.BMEntries = 4
+	m := core.NewMachine(cfg)
+	f := NewFactory(m)
+	vars := make([]Var, 8)
+	for i := range vars {
+		vars[i] = f.NewVar(uint64(i))
+	}
+	if f.Spills == 0 {
+		t.Fatal("no spills with an overfull BM")
+	}
+	inBM := 0
+	for _, v := range vars {
+		if v.InBM() {
+			inBM++
+		}
+	}
+	if inBM != 4 {
+		t.Errorf("vars in BM = %d, want 4", inBM)
+	}
+	// Spilled variables still work.
+	m.SpawnAll(func(th *core.Thread) {
+		for _, v := range vars {
+			v.FetchAdd(th, 1)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	m.Spawn("reader", 0, 1, func(th *core.Thread) {
+		for _, v := range vars {
+			sum += v.Load(th)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// sum(init) = 0+1+..+7 = 28, plus 4 increments each = 32.
+	if sum != 28+32 {
+		t.Errorf("sum = %d, want 60", sum)
+	}
+}
+
+func TestBarrierCostOrderingAcrossKinds(t *testing.T) {
+	// The paper's central result in miniature: with simultaneous
+	// arrivals, barrier cost must order WiSync < WiSyncNoT < Baseline+ <
+	// Baseline at 64 cores.
+	const cores, episodes = 64, 5
+	cost := map[config.Kind]sim.Time{}
+	for _, k := range config.Kinds {
+		m := newMachine(t, k, cores)
+		f := NewFactory(m)
+		b := f.NewBarrier(nil)
+		m.SpawnAll(func(th *core.Thread) {
+			for e := 0; e < episodes; e++ {
+				b.Wait(th)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		cost[k] = m.Now()
+	}
+	t.Logf("barrier cost (cycles for %d episodes): %v", episodes, cost)
+	if !(cost[config.WiSync] < cost[config.WiSyncNoT]) {
+		t.Errorf("WiSync (%d) not faster than WiSyncNoT (%d)", cost[config.WiSync], cost[config.WiSyncNoT])
+	}
+	if !(cost[config.WiSyncNoT] < cost[config.BaselinePlus]) {
+		t.Errorf("WiSyncNoT (%d) not faster than Baseline+ (%d)", cost[config.WiSyncNoT], cost[config.BaselinePlus])
+	}
+	if !(cost[config.BaselinePlus] < cost[config.Baseline]) {
+		t.Errorf("Baseline+ (%d) not faster than Baseline (%d)", cost[config.BaselinePlus], cost[config.Baseline])
+	}
+}
+
+func TestEurekaFiresForAll(t *testing.T) {
+	const cores = 8
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		e := f.NewEureka()
+		found := -1
+		var woken int
+		m.SpawnAll(func(th *core.Thread) {
+			if th.Core == 3 {
+				th.Compute(500)
+				found = th.Core
+				e.Trigger(th)
+				return
+			}
+			e.WaitTriggered(th)
+			if found != 3 {
+				t.Errorf("thread %d woke before the trigger", th.Core)
+			}
+			woken++
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if woken != cores-1 {
+			t.Errorf("woken = %d, want %d", woken, cores-1)
+		}
+	})
+}
+
+func TestEurekaReuse(t *testing.T) {
+	m := newMachine(t, config.WiSync, 4)
+	f := NewFactory(m)
+	e := f.NewEureka()
+	var fired int
+	m.SpawnAll(func(th *core.Thread) {
+		for round := 0; round < 3; round++ {
+			if th.Core == 0 {
+				th.Compute(200)
+				e.Trigger(th)
+			} else {
+				e.WaitTriggered(th)
+				fired++
+			}
+			e.Ack(th)
+			// Simple rendezvous so rounds don't overlap: everyone
+			// waits out the round window.
+			th.Compute(1000)
+			th.Sync()
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3*3 {
+		t.Errorf("fired = %d, want 9", fired)
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	const items = 20
+	forAllKinds(t, 2, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		pc := f.NewPC(1)
+		var got []uint64
+		m.Spawn("producer", 0, 1, func(th *core.Thread) {
+			for i := 1; i <= items; i++ {
+				pc.Produce(th, []uint64{uint64(i * 11)})
+			}
+		})
+		m.Spawn("consumer", 1, 1, func(th *core.Thread) {
+			buf := make([]uint64, 1)
+			for i := 0; i < items; i++ {
+				pc.Consume(th, buf)
+				got = append(got, buf[0])
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != items {
+			t.Fatalf("consumed %d items, want %d", len(got), items)
+		}
+		for i, v := range got {
+			if v != uint64((i+1)*11) {
+				t.Fatalf("item %d = %d, want %d (order broken)", i, v, (i+1)*11)
+			}
+		}
+	})
+}
+
+func TestProducerConsumerBulk(t *testing.T) {
+	// 4-word transfers use a single Bulk message on WiSync.
+	m := newMachine(t, config.WiSync, 2)
+	f := NewFactory(m)
+	pc := f.NewPC(4)
+	var got [][]uint64
+	m.Spawn("producer", 0, 1, func(th *core.Thread) {
+		for i := 0; i < 5; i++ {
+			pc.Produce(th, []uint64{uint64(i), uint64(i + 1), uint64(i + 2), uint64(i + 3)})
+		}
+	})
+	m.Spawn("consumer", 1, 1, func(th *core.Thread) {
+		for i := 0; i < 5; i++ {
+			buf := make([]uint64, 4)
+			pc.Consume(th, buf)
+			got = append(got, buf)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		for j := range b {
+			if b[j] != uint64(i+j) {
+				t.Fatalf("batch %d = %v", i, b)
+			}
+		}
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	const readers = 7
+	forAllKinds(t, readers+1, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		mc := f.NewMulticast(readers)
+		const rounds = 4
+		recv := make([][]uint64, readers+1)
+		m.SpawnAll(func(th *core.Thread) {
+			if th.Core == 0 {
+				for r := 1; r <= rounds; r++ {
+					mc.Produce(th, uint64(r*100))
+				}
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				recv[th.Core] = append(recv[th.Core], mc.Consume(th))
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for c := 1; c <= readers; c++ {
+			for r := 0; r < rounds; r++ {
+				if recv[c][r] != uint64((r+1)*100) {
+					t.Fatalf("reader %d round %d = %d", c, r, recv[c][r])
+				}
+			}
+		}
+	})
+}
+
+func TestReducerTotals(t *testing.T) {
+	const cores = 16
+	forAllKinds(t, cores, func(t *testing.T, m *core.Machine) {
+		f := NewFactory(m)
+		r := f.NewReducer(0)
+		m.SpawnAll(func(th *core.Thread) {
+			for i := 0; i < 10; i++ {
+				r.Add(th, uint64(th.Core))
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		m.Spawn("reader", 0, 1, func(th *core.Thread) { got = r.Value(th) })
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(10 * cores * (cores - 1) / 2)
+		if got != want {
+			t.Errorf("reduction = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestTournamentBarrierNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 12, 24} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			m := newMachine(t, config.BaselinePlus, n)
+			f := NewFactory(m)
+			b := f.NewBarrier(nil)
+			var through int
+			m.SpawnAll(func(th *core.Thread) {
+				for e := 0; e < 3; e++ {
+					th.Compute(th.Proc().Engine().Rand().Intn(50))
+					b.Wait(th)
+				}
+				through++
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if through != n {
+				t.Errorf("through = %d, want %d", through, n)
+			}
+		})
+	}
+}
+
+func TestToneBarrierFallsBackWhenTablesFull(t *testing.T) {
+	cfg := config.New(config.WiSync, 4)
+	cfg.Tone.TableSize = 1
+	cfg.Tone.MaxPerPID = 1
+	m := core.NewMachine(cfg)
+	f := NewFactory(m)
+	b1 := f.NewBarrier(nil) // takes the single tone slot
+	b2 := f.NewBarrier(nil) // must fall back to the Data channel
+	if _, ok := b1.(*toneBarrier); !ok {
+		t.Fatalf("first barrier is %T, want toneBarrier", b1)
+	}
+	if _, ok := b2.(*dataBarrier); !ok {
+		t.Fatalf("second barrier is %T, want dataBarrier", b2)
+	}
+	m.SpawnAll(func(th *core.Thread) {
+		b1.Wait(th)
+		b2.Wait(th)
+		b1.Wait(th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRunsAcrossMachines(t *testing.T) {
+	run := func() sim.Time {
+		m := newMachine(t, config.WiSync, 16)
+		f := NewFactory(m)
+		b := f.NewBarrier(nil)
+		l := f.NewLock()
+		v := f.NewVar(0)
+		m.SpawnAll(func(th *core.Thread) {
+			for i := 0; i < 5; i++ {
+				th.Compute(th.Proc().Engine().Rand().Intn(100))
+				l.Acquire(th)
+				v.FetchAdd(th, 1)
+				l.Release(th)
+				b.Wait(th)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different end times: %d vs %d", a, b)
+	}
+}

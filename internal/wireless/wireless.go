@@ -1,0 +1,464 @@
+// Package wireless models the WiSync Data channel (Section 4.1): a single
+// 19 Gb/s wireless channel shared by all nodes, slotted at 1 ns (one
+// processor cycle).
+//
+// A message carries a 64-bit datum, an 11-bit BM address, a Bulk bit and a
+// Tone bit (77 bits total) and occupies the channel for 5 cycles; Bulk
+// messages carry four data words in 15 cycles. If two or more nodes start
+// transmitting in the same slot they collide: the collision is detected in
+// the second cycle and the channel is free again in the third, so a
+// collision costs 2 cycles. Colliding nodes retry under binary exponential
+// backoff (Section 5.3). A node that finds the channel busy defers to the
+// cycle at which the channel is next expected to be free — all nodes can
+// compute it because the first cycle of every message carries the Bulk bit.
+//
+// Deferred senders drain according to Params.Defer. The default, DeferFIFO,
+// lets the backlog drain in deferral order at full channel rate: collisions
+// happen between messages that start in the same idle slot (genuinely
+// simultaneous arrivals), while queued senders restart cleanly. This is
+// calibrated to the paper's observed behavior — under the synchronized
+// bursts of a fetch&inc barrier, the channel must run near capacity (e.g.,
+// 256 arrivals in roughly 256 message times in Figure 7), with collision
+// losses visible but secondary. DeferContend is the pessimistic pure-CSMA
+// alternative where every deferred sender re-contends at busy-end; it is
+// kept as an ablation.
+//
+// Committed messages are delivered to all subscribers at the commit cycle;
+// the channel provides a total order of commits, which is what makes the
+// replicated Broadcast Memories of package bmem consistent.
+package wireless
+
+import (
+	"fmt"
+
+	"wisync/internal/sim"
+)
+
+// Kind labels what a message does at the receiving Broadcast Memories.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindStore writes Val to Addr in every BM.
+	KindStore Kind = iota
+	// KindRMW is the broadcast-write half of a read-modify-write.
+	KindRMW
+	// KindBulk writes Val and BulkVals to four consecutive addresses.
+	KindBulk
+	// KindToneInit announces the first arrival at a tone barrier (the
+	// message with the Tone bit set; the data field is immaterial).
+	KindToneInit
+	// KindAlloc allocates Addr in every BM and tags it with PID.
+	KindAlloc
+	// KindFree deallocates Addr in every BM.
+	KindFree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStore:
+		return "store"
+	case KindRMW:
+		return "rmw"
+	case KindBulk:
+		return "bulk"
+	case KindToneInit:
+		return "tone-init"
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	}
+	return "?"
+}
+
+// Msg is one wireless Data-channel message.
+type Msg struct {
+	Src      int
+	Addr     uint32
+	Val      uint64
+	BulkVals [3]uint64
+	Kind     Kind
+	PID      uint16
+	// Op, when non-nil on a KindRMW message, is the read-modify-write
+	// operation the BM controllers apply at commit time (grant-time RMW
+	// evaluation; see bmem). Every replica applies it to the same
+	// committed value, so the result is identical chip-wide.
+	Op func(uint64) (uint64, bool)
+}
+
+// BackoffPolicy selects how the exponential backoff exponent i evolves.
+type BackoffPolicy uint8
+
+const (
+	// BackoffPersistent is the Section 5.3 design: a per-node i
+	// incremented at every collision and decremented at every successful
+	// transmission, persisting across messages. This is the default.
+	BackoffPersistent BackoffPolicy = iota
+	// BackoffPerMessage is classic Ethernet binary exponential backoff
+	// [32]: every message starts at i=0 and increments i on each of its
+	// own collisions (ablation).
+	BackoffPerMessage
+	// BackoffAdaptive is the reactive policy the paper sketches but does
+	// not explore (Section 5.3): every node observes every collision and
+	// success (broadcast medium), so all nodes share a contention
+	// estimate and start new transmissions with a window already matched
+	// to it, instead of discovering contention one collision at a time.
+	BackoffAdaptive
+)
+
+// DeferPolicy selects what a sender does when it finds the channel busy.
+type DeferPolicy uint8
+
+const (
+	// DeferFIFO queues deferred senders and releases them one per busy-
+	// end, draining backlog at channel rate (default; see package doc).
+	DeferFIFO DeferPolicy = iota
+	// DeferContend makes every deferred sender re-contend at the first
+	// free cycle, pure 1-persistent CSMA (ablation).
+	DeferContend
+)
+
+// Params configures the channel timing.
+type Params struct {
+	// MsgCycles is the duration of an ordinary message (5: four transfer
+	// cycles plus the collision-listen cycle).
+	MsgCycles sim.Time
+	// BulkCycles is the duration of a Bulk message (15: the trailing
+	// three words need no collision check, address or control bits).
+	BulkCycles sim.Time
+	// CollisionCycles is how long a collision occupies the channel (2:
+	// detected in the second cycle, free in the third).
+	CollisionCycles sim.Time
+	// MaxBackoffExp caps the exponential backoff exponent i. Zero means
+	// auto: log2(nodes)+1, so the maximum window tracks the worst-case
+	// number of simultaneous contenders.
+	MaxBackoffExp int
+	// Backoff selects the backoff policy.
+	Backoff BackoffPolicy
+	// Defer selects the busy-channel deferral discipline.
+	Defer DeferPolicy
+	// ConstantBackoffWindow, if nonzero, replaces exponential backoff
+	// with a fixed window of that size (ablation).
+	ConstantBackoffWindow int
+}
+
+// DefaultParams returns the Table 1 channel configuration.
+func DefaultParams() Params {
+	return Params{
+		MsgCycles:       5,
+		BulkCycles:      15,
+		CollisionCycles: 2,
+		Backoff:         BackoffPersistent,
+		Defer:           DeferFIFO,
+	}
+}
+
+type reqState uint8
+
+const (
+	reqPending reqState = iota
+	reqTransmitting
+	reqDone
+	reqCanceled
+)
+
+type request struct {
+	p         *sim.Proc
+	msg       Msg
+	start     sim.Time
+	state     reqState
+	committed bool
+	attempts  int // collisions suffered by this message
+}
+
+// Token allows the owner of an in-flight Send to withdraw it (used when a
+// pending RMW loses atomicity: the write must not be broadcast).
+type Token struct {
+	req *request
+}
+
+// Cancel withdraws the transfer if it has not yet won the channel. It
+// reports whether the transfer was withdrawn; false means the message is
+// already transmitting or committed, or Cancel was called twice.
+func (t *Token) Cancel() bool {
+	r := t.req
+	if r == nil || r.state != reqPending {
+		return false
+	}
+	r.state = reqCanceled
+	r.p.Wake(0)
+	return true
+}
+
+// Stats accumulates channel counters.
+type Stats struct {
+	Messages      uint64
+	Collisions    uint64 // collision events (2+ nodes in one slot)
+	Withdrawn     uint64
+	SkippedGrants uint64   // RMWs abandoned at grant (write would not happen)
+	BusyCycles    sim.Time // cycles the channel carried a message or collision
+	LatencySum    sim.Time // sum over messages of commit - request time
+}
+
+// Utilization returns the fraction of cycles in [0, now] the channel was
+// busy.
+func (s *Stats) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(now)
+}
+
+// MeanLatency returns the average request-to-commit latency in cycles.
+func (s *Stats) MeanLatency() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Messages)
+}
+
+// Network is the Data channel.
+type Network struct {
+	eng       *sim.Engine
+	p         Params
+	nodes     int
+	rng       *sim.Rand
+	busyUntil sim.Time
+	slots     map[sim.Time][]*request
+	scheduled map[sim.Time]bool
+	waitq     []*request
+	backoff   []int
+	// sharedExp is the chip-wide contention exponent for
+	// BackoffAdaptive: every node observes the same channel, so the
+	// estimate is global (Section 5.3).
+	sharedExp int
+	subs      []func(Msg, sim.Time)
+	prepare   func(Msg) bool
+	// Stats is exported for harness reporting.
+	Stats Stats
+}
+
+// New creates a Data channel for the given node count.
+func New(eng *sim.Engine, nodes int, p Params) *Network {
+	if p.MsgCycles == 0 {
+		p = DefaultParams()
+	}
+	if p.MaxBackoffExp == 0 {
+		p.MaxBackoffExp = 1
+		for v := 1; v < nodes; v <<= 1 {
+			p.MaxBackoffExp++
+		}
+	}
+	return &Network{
+		eng:       eng,
+		p:         p,
+		nodes:     nodes,
+		rng:       eng.Rand().Fork(),
+		slots:     make(map[sim.Time][]*request),
+		scheduled: make(map[sim.Time]bool),
+		backoff:   make([]int, nodes),
+	}
+}
+
+// Params returns the channel configuration.
+func (n *Network) Params() Params { return n.p }
+
+// Subscribe registers fn to be called at the commit cycle of every message,
+// in subscription order. Subscribers run in engine (event) context.
+func (n *Network) Subscribe(fn func(Msg, sim.Time)) {
+	n.subs = append(n.subs, fn)
+}
+
+// SetPrepare installs the transmission-start check. When it returns false
+// for a message that just won the channel, the transfer is abandoned
+// without occupying any cycles — "the write is attempted, and it fails"
+// (Section 4.2.1): a read-modify-write whose update is stale never
+// broadcasts, so the channel carries only useful commits. The hook must be
+// side-effect free.
+func (n *Network) SetPrepare(fn func(Msg) bool) { n.prepare = fn }
+
+// QueueLen returns the number of senders currently deferred by a busy
+// channel (FIFO discipline only).
+func (n *Network) QueueLen() int { return len(n.waitq) }
+
+// Send transmits msg, blocking p until the message commits at all receivers
+// or the transfer is withdrawn through tok (which may be nil). It reports
+// whether the message committed.
+func (n *Network) Send(p *sim.Proc, msg Msg, tok *Token) bool {
+	if msg.Src < 0 || msg.Src >= n.nodes {
+		panic(fmt.Sprintf("wireless: bad source node %d", msg.Src))
+	}
+	req := &request{p: p, msg: msg, start: n.eng.Now()}
+	if tok != nil {
+		tok.req = req
+	}
+	n.submit(req)
+	p.Park("wireless tx")
+	if req.state == reqCanceled {
+		n.Stats.Withdrawn++
+		return false
+	}
+	return req.committed
+}
+
+// submit routes a (re)transmission attempt: straight into the current slot
+// when the channel is free, otherwise per the deferral policy.
+func (n *Network) submit(req *request) {
+	now := n.eng.Now()
+	if n.busyUntil <= now {
+		n.enqueue(req, now)
+		return
+	}
+	if n.p.Defer == DeferFIFO {
+		n.waitq = append(n.waitq, req)
+		return
+	}
+	n.enqueue(req, n.busyUntil)
+}
+
+func (n *Network) enqueue(req *request, slot sim.Time) {
+	n.slots[slot] = append(n.slots[slot], req)
+	if !n.scheduled[slot] {
+		n.scheduled[slot] = true
+		n.eng.ScheduleAt(slot, sim.PrioLate, func() { n.arbitrate(slot) })
+	}
+}
+
+// arbitrate resolves the contention slot at the current cycle. It runs at
+// PrioLate so every request registered during the cycle participates, and
+// after commit deliveries (PrioNormal), so withdrawals triggered by a
+// commit in the same cycle take effect first.
+func (n *Network) arbitrate(slot sim.Time) {
+	delete(n.scheduled, slot)
+	reqs := n.slots[slot]
+	delete(n.slots, slot)
+	live := reqs[:0]
+	for _, r := range reqs {
+		if r.state == reqPending {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if slot < n.busyUntil {
+		// The channel became busy after these requests were queued
+		// (an earlier slot had a winner); defer them.
+		for _, r := range live {
+			if n.p.Defer == DeferFIFO {
+				n.waitq = append(n.waitq, r)
+			} else {
+				n.enqueue(r, n.busyUntil)
+			}
+		}
+		return
+	}
+	if len(live) == 1 {
+		n.transmit(live[0], slot)
+		return
+	}
+	// Collision: detected cycle 2, channel free cycle 3.
+	n.Stats.Collisions++
+	n.busyUntil = slot + n.p.CollisionCycles
+	n.Stats.BusyCycles += n.p.CollisionCycles
+	n.scheduleRelease(n.busyUntil)
+	if n.sharedExp < n.p.MaxBackoffExp {
+		n.sharedExp++
+	}
+	for _, r := range live {
+		exp := 0
+		switch n.p.Backoff {
+		case BackoffPerMessage:
+			r.attempts++
+			exp = r.attempts
+			if exp > n.p.MaxBackoffExp {
+				exp = n.p.MaxBackoffExp
+			}
+		case BackoffAdaptive:
+			exp = n.sharedExp
+		default: // persistent (Section 5.3)
+			src := r.msg.Src
+			if n.backoff[src] < n.p.MaxBackoffExp {
+				n.backoff[src]++
+			}
+			exp = n.backoff[src]
+		}
+		window := 1 << exp
+		if n.p.ConstantBackoffWindow > 0 {
+			window = n.p.ConstantBackoffWindow
+		}
+		wait := sim.Time(n.rng.Intn(window))
+		n.enqueue(r, slot+n.p.CollisionCycles+wait)
+	}
+}
+
+func (n *Network) transmit(req *request, slot sim.Time) {
+	if n.prepare != nil && !n.prepare(req.msg) {
+		// Abandoned at grant: no transmission, channel still free.
+		// The next deferred sender restarts in this very slot.
+		req.state = reqDone
+		req.committed = false
+		n.Stats.SkippedGrants++
+		req.p.Wake(0)
+		n.releaseHead()
+		return
+	}
+	req.state = reqTransmitting
+	dur := n.p.MsgCycles
+	if req.msg.Kind == KindBulk {
+		dur = n.p.BulkCycles
+	}
+	n.busyUntil = slot + dur
+	n.Stats.BusyCycles += dur
+	switch n.p.Backoff {
+	case BackoffPersistent:
+		if src := req.msg.Src; n.backoff[src] > 0 {
+			n.backoff[src]--
+		}
+	case BackoffAdaptive:
+		if n.sharedExp > 0 {
+			n.sharedExp--
+		}
+	}
+	n.eng.ScheduleAt(slot+dur, sim.PrioNormal, func() { n.commit(req) })
+	n.scheduleRelease(slot + dur)
+}
+
+// scheduleRelease arranges for the oldest deferred sender to restart at the
+// end of the current busy period. It is scheduled after same-cycle commit
+// delivery (by sequence order) and before slot arbitration (by priority),
+// so withdrawn requests are skipped and the released sender still contends
+// with any new same-cycle arrivals.
+func (n *Network) scheduleRelease(at sim.Time) {
+	if n.p.Defer != DeferFIFO {
+		return
+	}
+	n.eng.ScheduleAt(at, sim.PrioNormal, func() { n.releaseHead() })
+}
+
+func (n *Network) releaseHead() {
+	if n.busyUntil > n.eng.Now() {
+		return // a new busy period already started
+	}
+	for len(n.waitq) > 0 {
+		head := n.waitq[0]
+		n.waitq = n.waitq[1:]
+		if head.state != reqPending {
+			continue // withdrawn while queued
+		}
+		n.enqueue(head, n.eng.Now())
+		return
+	}
+}
+
+func (n *Network) commit(req *request) {
+	req.state = reqDone
+	req.committed = true
+	n.Stats.Messages++
+	n.Stats.LatencySum += n.eng.Now() - req.start
+	for _, fn := range n.subs {
+		fn(req.msg, n.eng.Now())
+	}
+	req.p.Wake(0)
+}
