@@ -8,7 +8,10 @@
 // Each subcommand prints the same rows or series the paper reports. Shapes
 // (who wins, by roughly what factor, where crossovers fall) reproduce the
 // paper; absolute cycle counts come from this repository's simulator, not
-// the authors' Multi2Sim testbed. -quick shrinks the sweeps.
+// the authors' Multi2Sim testbed. -quick shrinks the sweeps; -workers sets
+// how many sweep points simulate concurrently (every sweep point is an
+// independent seeded simulation, so the output is identical at any worker
+// count).
 package main
 
 import (
@@ -22,8 +25,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +35,7 @@ func main() {
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	o := harness.Options{Quick: *quick, Out: os.Stdout}
+	o := harness.Options{Quick: *quick, Workers: *workers, Out: os.Stdout}
 	start := time.Now()
 	switch what {
 	case "table4":

@@ -7,27 +7,35 @@
 //	wisync-sim -config Baseline -workload liv6 -n 512
 //	wisync-sim -config WiSync -workload add -cs 256 -duration 100000
 //	wisync-sim -config WiSyncNoT -workload app:streamcluster
+//	wisync-sim -config WiSync -cores 16,64,256 -workers 0 -workload tightloop
 //
 // Workloads: tightloop, liv2, liv3, liv6, fifo, lifo, add, app:<name>.
 // Configs: Baseline, Baseline+, WiSyncNoT, WiSync. Variants: Default,
 // SlowNet, SlowNet+L2, FastNet, SlowBMEM.
+//
+// -cores accepts a comma-separated list; the points of such a sweep are
+// independent seeded simulations, so they are dispatched across -workers
+// concurrent workers (0 = GOMAXPROCS) and printed in list order — the
+// output is identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"wisync/internal/apps"
 	"wisync/internal/config"
+	"wisync/internal/harness"
 	"wisync/internal/kernels"
 	"wisync/internal/sim"
 )
 
 func main() {
 	cfgName := flag.String("config", "WiSync", "machine kind: Baseline, Baseline+, WiSyncNoT, WiSync")
-	cores := flag.Int("cores", 64, "core count (16-256)")
+	cores := flag.String("cores", "64", "core count 16-256, or a comma-separated sweep list")
 	workload := flag.String("workload", "tightloop", "tightloop|liv2|liv3|liv6|fifo|lifo|add|app:<name>")
 	n := flag.Int("n", 1024, "vector length for Livermore loops")
 	iters := flag.Int("iters", 20, "iterations for tightloop")
@@ -35,6 +43,7 @@ func main() {
 	duration := flag.Uint64("duration", 200000, "cycles to run the CAS kernels")
 	variant := flag.String("variant", "Default", "Table 6 variant")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent sweep points for a -cores list (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	kind, ok := parseKind(*cfgName)
@@ -45,38 +54,76 @@ func main() {
 	if !ok {
 		fatalf("unknown variant %q", *variant)
 	}
-	cfg := config.New(kind, *cores).WithVariant(v).WithSeed(*seed)
-
+	coreList, err := parseCores(*cores)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Validate the workload once, up front: runOne executes on worker
+	// goroutines, where a per-point fatalf would race and could discard
+	// already-rendered points.
+	var appProfile apps.Profile
 	switch {
-	case *workload == "tightloop":
-		r := kernels.TightLoop(cfg, *iters)
-		fmt.Println(r)
-		fmt.Printf("data channel utilization: %.3f%%\n", 100*r.DataChannelUtil)
-	case *workload == "liv2":
-		r, _ := kernels.Livermore2(cfg, *n, 1)
-		fmt.Println(r)
-	case *workload == "liv3":
-		r, sum := kernels.Livermore3(cfg, *n, 1)
-		fmt.Println(r)
-		fmt.Printf("inner product: %g\n", sum)
-	case *workload == "liv6":
-		r, _ := kernels.Livermore6(cfg, *n)
-		fmt.Println(r)
-	case *workload == "fifo" || *workload == "lifo" || *workload == "add":
-		kn := map[string]kernels.CASKind{"fifo": kernels.FIFO, "lifo": kernels.LIFO, "add": kernels.ADD}[*workload]
-		r := kernels.CASKernel(cfg, kn, *cs, sim.Time(*duration))
-		fmt.Println(r)
 	case strings.HasPrefix(*workload, "app:"):
 		name := strings.TrimPrefix(*workload, "app:")
 		p, ok := apps.ByName(name)
 		if !ok {
 			fatalf("unknown application %q (see internal/apps/profiles.go)", name)
 		}
-		r := apps.Run(cfg, p)
-		fmt.Println(r)
+		appProfile = p
+	case *workload == "tightloop", *workload == "liv2", *workload == "liv3",
+		*workload == "liv6", *workload == "fifo", *workload == "lifo", *workload == "add":
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
+
+	// Each sweep point renders into its own buffer; buffers are printed in
+	// list order so the output does not depend on the worker count.
+	outputs := make([]strings.Builder, len(coreList))
+	harness.ForEach(*workers, len(coreList), func(i int) {
+		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed)
+		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
+	})
+	for i := range outputs {
+		fmt.Print(outputs[i].String())
+	}
+}
+
+func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile apps.Profile, n, iters, cs int, duration uint64) {
+	switch {
+	case workload == "tightloop":
+		r := kernels.TightLoop(cfg, iters)
+		fmt.Fprintln(out, r)
+		fmt.Fprintf(out, "data channel utilization: %.3f%%\n", 100*r.DataChannelUtil)
+	case workload == "liv2":
+		r, _ := kernels.Livermore2(cfg, n, 1)
+		fmt.Fprintln(out, r)
+	case workload == "liv3":
+		r, sum := kernels.Livermore3(cfg, n, 1)
+		fmt.Fprintln(out, r)
+		fmt.Fprintf(out, "inner product: %g\n", sum)
+	case workload == "liv6":
+		r, _ := kernels.Livermore6(cfg, n)
+		fmt.Fprintln(out, r)
+	case workload == "fifo" || workload == "lifo" || workload == "add":
+		kn := map[string]kernels.CASKind{"fifo": kernels.FIFO, "lifo": kernels.LIFO, "add": kernels.ADD}[workload]
+		r := kernels.CASKernel(cfg, kn, cs, sim.Time(duration))
+		fmt.Fprintln(out, r)
+	case strings.HasPrefix(workload, "app:"):
+		r := apps.Run(cfg, appProfile)
+		fmt.Fprintln(out, r)
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 func parseKind(s string) (config.Kind, bool) {

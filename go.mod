@@ -1,0 +1,3 @@
+module wisync
+
+go 1.22

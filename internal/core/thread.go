@@ -10,10 +10,17 @@ import (
 // thread's simulation process and interacts with the machine exclusively
 // through Thread methods.
 //
-// Computation is charged lazily: Compute and Instr accumulate cycles that
-// are only slept when the thread next touches shared state. This keeps
-// event counts low for compute-heavy phases without changing observable
-// timing.
+// Computation is charged lazily: Compute and Instr accumulate cycles into
+// pending that are only slept when the thread next touches shared state
+// (flush). An arbitrarily long compute phase thus collapses into a single
+// Sleep — one event, not one per Compute call — without changing
+// observable timing, because the sleep lands exactly where the next
+// shared-state access serializes. The engine collapses further: that
+// single Sleep takes sim's zero-handoff fast path whenever the thread's
+// wake-up is the next event globally, so an uncontended compute/sync loop
+// runs as plain function calls on one goroutine. Shared-state accesses
+// must flush first (and do), since their outcome may depend on hardware
+// state that other cores mutate while pending cycles elapse.
 type Thread struct {
 	M    *Machine
 	Core int

@@ -3,11 +3,22 @@
 // paper reports and returns the data for programmatic checks. The cmd/
 // wisync-bench tool and the repository's benchmark suite are thin wrappers
 // around this package.
+//
+// Every sweep point — one (core count, configuration, kernel, length)
+// combination — is an independent deterministic simulation: it builds its
+// own engine from its own seed and shares no state with any other point.
+// The harness therefore dispatches points across a worker pool (Options.
+// Workers) and assembles rows in sweep order afterwards, so the output is
+// bit-identical at every worker count, including sequential.
 package harness
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"wisync/internal/apps"
 	"wisync/internal/config"
@@ -17,10 +28,16 @@ import (
 	"wisync/internal/stats"
 )
 
-// Options controls sweep sizes and output.
+// Options controls sweep sizes, parallelism and output.
 type Options struct {
 	// Quick shrinks the sweeps for fast iteration (CI, go test -short).
 	Quick bool
+	// Workers bounds how many sweep points simulate concurrently. Each
+	// point is an independent engine with its own seed, and results are
+	// written into pre-assigned row slots, so the rendered tables and
+	// returned rows are bit-identical at every worker count. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	Workers int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }
@@ -31,6 +48,58 @@ func (o Options) out() io.Writer {
 	}
 	return o.Out
 }
+
+// ForEach runs jobs 0..n-1 across min(workers, n) goroutines (workers <= 0
+// means runtime.GOMAXPROCS(0)). Jobs must be independent and write only
+// their own result slots; ForEach returns when all jobs finished. A panic
+// in a job is re-raised in the caller after the pool drains, so worker
+// goroutines never die silently.
+func ForEach(workers, n int, job func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Keep the worker's stack: the re-panic below raises
+					// on the caller's goroutine, where these frames are
+					// otherwise gone.
+					panicked.CompareAndSwap(nil,
+						fmt.Sprintf("harness: sweep point panicked: %v\n%s", r, debug.Stack()))
+				}
+			}()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}
+
+// forEach is ForEach over the option's worker count.
+func (o Options) forEach(n int, job func(int)) { ForEach(o.Workers, n, job) }
 
 // Table4 reproduces Table 4: area and power of the transceiver plus two
 // antennas against two reference cores at 22 nm.
@@ -63,17 +132,24 @@ func Fig7(o Options) []Fig7Row {
 		coreCounts = []int{16, 64, 128}
 		iters = 10
 	}
-	var rows []Fig7Row
+	rows := make([]Fig7Row, 0, len(coreCounts)*len(config.Kinds))
+	for _, n := range coreCounts {
+		for _, k := range config.Kinds {
+			rows = append(rows, Fig7Row{Cores: n, Kind: k})
+		}
+	}
+	o.forEach(len(rows), func(i int) {
+		r := &rows[i]
+		r.CyclesPerIter = kernels.TightLoop(config.New(r.Kind, r.Cores), iters).CyclesPerIteration()
+	})
 	tb := stats.NewTable("Figure 7: TightLoop execution time (cycles/iteration)",
 		"cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
-	for _, n := range coreCounts {
+	for i := 0; i < len(rows); i += len(config.Kinds) {
 		vals := make(map[config.Kind]float64, 4)
-		for _, k := range config.Kinds {
-			r := kernels.TightLoop(config.New(k, n), iters)
-			vals[k] = r.CyclesPerIteration()
-			rows = append(rows, Fig7Row{Cores: n, Kind: k, CyclesPerIter: vals[k]})
+		for _, r := range rows[i : i+len(config.Kinds)] {
+			vals[r.Kind] = r.CyclesPerIter
 		}
-		tb.AddRow(n, f0(vals[config.Baseline]), f0(vals[config.BaselinePlus]),
+		tb.AddRow(rows[i].Cores, f0(vals[config.Baseline]), f0(vals[config.BaselinePlus]),
 			f0(vals[config.WiSyncNoT]), f0(vals[config.WiSync]))
 	}
 	fmt.Fprintln(o.out(), tb)
@@ -103,36 +179,53 @@ func Fig8(o Options) []Fig8Row {
 		coreCounts = []int{64}
 		passes = 1
 	}
-	var rows []Fig8Row
-	run := func(loop int, cores int, lens []int) {
-		tb := stats.NewTable(
-			fmt.Sprintf("Figure 8: Livermore loop %d, %d cores (cycles)", loop, cores),
-			"length", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
-		for _, n := range lens {
-			vals := make(map[config.Kind]sim.Time, 4)
-			for _, k := range config.Kinds {
-				cfg := config.New(k, cores)
-				var r kernels.Result
-				switch loop {
-				case 2:
-					r, _ = kernels.Livermore2(cfg, n, passes)
-				case 3:
-					r, _ = kernels.Livermore3(cfg, n, passes)
-				case 6:
-					r, _ = kernels.Livermore6(cfg, n)
-				}
-				vals[k] = r.Cycles
-				rows = append(rows, Fig8Row{Loop: loop, Cores: cores, Length: n, Kind: k, Cycles: r.Cycles})
-			}
-			tb.AddRow(n, vals[config.Baseline], vals[config.BaselinePlus],
-				vals[config.WiSyncNoT], vals[config.WiSync])
+	lensFor := func(loop int) []int {
+		if loop == 6 {
+			return lens6
 		}
-		fmt.Fprintln(o.out(), tb)
+		return lens23
 	}
+	var rows []Fig8Row
 	for _, cores := range coreCounts {
-		run(2, cores, lens23)
-		run(3, cores, lens23)
-		run(6, cores, lens6)
+		for _, loop := range []int{2, 3, 6} {
+			for _, n := range lensFor(loop) {
+				for _, k := range config.Kinds {
+					rows = append(rows, Fig8Row{Loop: loop, Cores: cores, Length: n, Kind: k})
+				}
+			}
+		}
+	}
+	o.forEach(len(rows), func(i int) {
+		r := &rows[i]
+		cfg := config.New(r.Kind, r.Cores)
+		var res kernels.Result
+		switch r.Loop {
+		case 2:
+			res, _ = kernels.Livermore2(cfg, r.Length, passes)
+		case 3:
+			res, _ = kernels.Livermore3(cfg, r.Length, passes)
+		case 6:
+			res, _ = kernels.Livermore6(cfg, r.Length)
+		}
+		r.Cycles = res.Cycles
+	})
+	i := 0
+	for _, cores := range coreCounts {
+		for _, loop := range []int{2, 3, 6} {
+			tb := stats.NewTable(
+				fmt.Sprintf("Figure 8: Livermore loop %d, %d cores (cycles)", loop, cores),
+				"length", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
+			for range lensFor(loop) {
+				vals := make(map[config.Kind]sim.Time, 4)
+				for _, r := range rows[i : i+len(config.Kinds)] {
+					vals[r.Kind] = r.Cycles
+				}
+				tb.AddRow(rows[i].Length, vals[config.Baseline], vals[config.BaselinePlus],
+					vals[config.WiSyncNoT], vals[config.WiSync])
+				i += len(config.Kinds)
+			}
+			fmt.Fprintln(o.out(), tb)
+		}
 	}
 	return rows
 }
@@ -160,20 +253,34 @@ func Fig9(o Options) []Fig9Row {
 		duration = 60000
 	}
 	kinds := []config.Kind{config.Baseline, config.WiSync}
+	kernelKinds := []kernels.CASKind{kernels.FIFO, kernels.LIFO, kernels.ADD}
 	var rows []Fig9Row
 	for _, cores := range coreCounts {
-		for _, kn := range []kernels.CASKind{kernels.FIFO, kernels.LIFO, kernels.ADD} {
+		for _, kn := range kernelKinds {
+			for _, cs := range sizes {
+				for _, k := range kinds {
+					rows = append(rows, Fig9Row{Kernel: kn, Cores: cores, CSInstr: cs, Kind: k})
+				}
+			}
+		}
+	}
+	o.forEach(len(rows), func(i int) {
+		r := &rows[i]
+		r.Per1000 = kernels.CASKernel(config.New(r.Kind, r.Cores), r.Kernel, r.CSInstr, duration).Per1000
+	})
+	i := 0
+	for _, cores := range coreCounts {
+		for _, kn := range kernelKinds {
 			tb := stats.NewTable(
 				fmt.Sprintf("Figure 9: %v CAS throughput per 1000 cycles, %d cores", kn, cores),
 				"cs instr", "Baseline", "WiSync")
-			for _, cs := range sizes {
+			for range sizes {
 				vals := make(map[config.Kind]float64, 2)
-				for _, k := range kinds {
-					r := kernels.CASKernel(config.New(k, cores), kn, cs, duration)
-					vals[k] = r.Per1000
-					rows = append(rows, Fig9Row{Kernel: kn, Cores: cores, CSInstr: cs, Kind: k, Per1000: r.Per1000})
+				for _, r := range rows[i : i+len(kinds)] {
+					vals[r.Kind] = r.Per1000
 				}
-				tb.AddRow(cs, f2(vals[config.Baseline]), f2(vals[config.WiSync]))
+				tb.AddRow(rows[i].CSInstr, f2(vals[config.Baseline]), f2(vals[config.WiSync]))
+				i += len(kinds)
 			}
 			fmt.Fprintln(o.out(), tb)
 		}
@@ -188,6 +295,11 @@ type AppRow struct {
 	UtilWNoT float64 // Data-channel utilization %, WiSyncNoT
 	UtilW    float64 // Data-channel utilization %, WiSync
 }
+
+// appKinds is the per-application run order of Fig10 and Fig11: the
+// Baseline run first (the speedup denominator), then the three compared
+// configurations.
+var appKinds = [4]config.Kind{config.Baseline, config.BaselinePlus, config.WiSyncNoT, config.WiSync}
 
 // Fig10 reproduces Figure 10 (speedups over Baseline on the PARSEC and
 // SPLASH-2 suites at 64 cores) and collects the Table 5 utilizations from
@@ -204,17 +316,21 @@ func Fig10(o Options) []AppRow {
 			profiles = append(profiles, p)
 		}
 	}
+	results := make([]apps.Result, len(profiles)*len(appKinds))
+	o.forEach(len(results), func(i int) {
+		cfg := base
+		cfg.Kind = appKinds[i%len(appKinds)]
+		results[i] = apps.Run(cfg, profiles[i/len(appKinds)])
+	})
 	var rows []AppRow
 	tb := stats.NewTable("Figure 10: speedup over Baseline, 64 cores",
 		"app", "Baseline+", "WiSyncNoT", "WiSync")
 	var bp, wnt, w []float64
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		row := AppRow{Name: p.Name, Speedup: map[config.Kind]float64{config.Baseline: 1}}
-		baseline := apps.Run(base, p)
-		for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
-			cfg := base
-			cfg.Kind = k
-			r := apps.Run(cfg, p)
+		baseline := results[pi*len(appKinds)]
+		for ki, k := range appKinds[1:] {
+			r := results[pi*len(appKinds)+1+ki]
 			row.Speedup[k] = float64(baseline.Cycles) / float64(r.Cycles)
 			switch k {
 			case config.WiSyncNoT:
@@ -287,22 +403,29 @@ func Fig11(o Options) []Fig11Row {
 			profiles = append(profiles, p)
 		}
 	}
+	// One task per (variant, profile, kind) run; all independent.
+	nk := len(appKinds)
+	results := make([]apps.Result, len(config.Variants)*len(profiles)*nk)
+	o.forEach(len(results), func(i int) {
+		v := config.Variants[i/(len(profiles)*nk)]
+		p := profiles[i/nk%len(profiles)]
+		cfg := config.New(config.Baseline, 64).WithVariant(v)
+		cfg.Kind = appKinds[i%nk]
+		results[i] = apps.Run(cfg, p)
+	})
 	var rows []Fig11Row
 	tb := stats.NewTable("Figure 11: geomean speedup over Baseline by variant, 64 cores",
 		"variant", "Baseline+", "WiSyncNoT", "WiSync")
-	for _, v := range config.Variants {
+	for vi, v := range config.Variants {
 		acc := map[config.Kind][]float64{}
-		for _, p := range profiles {
-			base := config.New(config.Baseline, 64).WithVariant(v)
-			baseline := apps.Run(base, p)
-			for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
-				cfg := base
-				cfg.Kind = k
-				r := apps.Run(cfg, p)
-				acc[k] = append(acc[k], float64(baseline.Cycles)/float64(r.Cycles))
+		for pi := range profiles {
+			base := results[(vi*len(profiles)+pi)*nk]
+			for ki, k := range appKinds[1:] {
+				r := results[(vi*len(profiles)+pi)*nk+1+ki]
+				acc[k] = append(acc[k], float64(base.Cycles)/float64(r.Cycles))
 			}
 		}
-		for _, k := range []config.Kind{config.BaselinePlus, config.WiSyncNoT, config.WiSync} {
+		for _, k := range appKinds[1:] {
 			rows = append(rows, Fig11Row{Variant: v, Kind: k, GeoMean: stats.GeoMean(acc[k])})
 		}
 		tb.AddRow(v.String(), f2(stats.GeoMean(acc[config.BaselinePlus])),

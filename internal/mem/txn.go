@@ -76,7 +76,9 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 		// A previous ownership grant is still settling at its owner.
 		p.Sleep(d.settleAt - s.eng.Now())
 	}
-	s.trace(line, "t=%d core=%d txn f=%v owner=%d sharers=%d", s.eng.Now(), core, f != nil, d.owner, d.sharers.count())
+	if s.Trace != nil {
+		s.trace(line, "t=%d core=%d txn f=%v owner=%d sharers=%d", s.eng.Now(), core, f != nil, d.owner, d.sharers.count())
+	}
 
 	// The line is held: the committed word value cannot change, so an RMW
 	// decision made now is the serialization decision. A no-write RMW
@@ -208,7 +210,9 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 	// granted while our reply is in flight. The epoch check below keeps a
 	// fill that was overtaken by an invalidation from installing a stale
 	// copy.
-	s.trace(line, "t=%d core=%d served old=%d grant=%v", s.eng.Now(), core, old, grant)
+	if s.Trace != nil {
+		s.trace(line, "t=%d core=%d served old=%d grant=%v", s.eng.Now(), core, old, grant)
+	}
 	// The home releases once the reply (and any invalidations) are issued;
 	// the requester pays the reply flight and, for writes, the farthest
 	// invalidation-ack round trip, whichever is longer. Ownership grants
@@ -226,7 +230,9 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 	p.Sleep(wait)
 	if grant != Invalid && s.l1[core].epochs[line] == epoch {
 		s.fill(p, core, line, grant)
-		s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
+		if s.Trace != nil {
+			s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
+		}
 	}
 	return old, grant
 }
@@ -283,7 +289,9 @@ func (s *System) fetchFromMemory(p *sim.Proc, home int, line uint64) sim.Time {
 func (s *System) invalidateL1(core int, line uint64) {
 	c := &s.l1[core]
 	c.epochs[line]++
-	s.trace(line, "t=%d inv core=%d epoch->%d", s.eng.Now(), core, c.epochs[line])
+	if s.Trace != nil {
+		s.trace(line, "t=%d inv core=%d epoch->%d", s.eng.Now(), core, c.epochs[line])
+	}
 	set := c.sets[line&s.setsMask()]
 	for i := range set {
 		if set[i].line == line && set[i].state != Invalid {

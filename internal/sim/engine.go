@@ -1,24 +1,72 @@
 // Package sim implements a deterministic, single-threaded discrete-event
 // simulation engine with cooperative processes.
 //
+// # Execution model
+//
 // The engine advances a cycle-resolution clock and executes events in
 // (time, priority, sequence) order, so identical inputs always produce
-// identical simulations. Hardware models are written either as plain
-// callback events or as processes: goroutines that run one at a time,
-// hand control back to the engine whenever they sleep or park, and are
-// resumed by scheduled events. The engine owns all randomness through a
-// seeded splitmix64 generator, keeping collision backoff and workload
-// jitter reproducible.
+// identical simulations. Events live in a typed 4-ary min-heap; scheduling
+// one is an append into a reused slice, never a per-event heap allocation.
+// Hardware models are written in one of two styles:
+//
+//   - Callback events (Schedule/ScheduleAt): plain functions the engine
+//     invokes inline from its run loop. This is the fast path — one event
+//     costs a heap push, a pop, and a function call.
+//
+//   - Processes (Go): goroutines with blocking control flow (Sleep, Park,
+//     Resource.Acquire) for models whose logic does not flatten naturally
+//     into callbacks — OS cases, multi-step protocol transactions. Exactly
+//     one process runs at a time, enforced by a single control token.
+//
+// Process switches ride the Go scheduler, which makes them ~100x more
+// expensive than callbacks, so the engine avoids them at three levels:
+//
+//  1. Zero-handoff Sleep: when a sleeping process's own wake-up would be
+//     the very next event popped (nothing precedes it in the (time,
+//     priority, sequence) order), the process advances the clock inline
+//     and keeps running without parking. Chains of Sleeps with no
+//     interleaved foreign events therefore cost one function call each
+//     instead of two channel sends and a scheduler round trip. The fast
+//     path is bounded by the run horizon (RunUntil's limit), so a process
+//     can never advance the clock past the window the caller asked for.
+//
+//  2. Direct baton passing: a process that must block runs the scheduler
+//     loop itself (runEvents), executing callback events inline and
+//     handing the token straight to the next process over its resume
+//     channel — one rendezvous per switch instead of two, because the
+//     engine goroutine stays parked while processes pass control among
+//     themselves.
+//
+//  3. Self-dispatch: if the blocking process pops its own wake-up (an
+//     inline callback — an arbiter grant, an invalidation — re-woke it),
+//     it just keeps running; no channel operation at all.
+//
+// All three are order-preserving by construction: they only short-circuit
+// the exact dispatch the event queue would have performed next, so results
+// are bit-identical to a naive engine-centric loop.
+//
+// # Determinism
+//
+// The engine owns all randomness through a seeded splitmix64 generator,
+// keeping collision backoff and workload jitter reproducible. Every event
+// gets a unique, monotonically increasing sequence number, so the event
+// order is a strict total order: same seed, same schedule, same results —
+// regardless of whether sleeps take the fast or slow path, and regardless
+// of how many engines run concurrently (engines share no state; see
+// package harness for the sweep-level worker pool built on that).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
 // Time is a simulation timestamp in processor cycles (1 ns at 1 GHz).
 type Time uint64
+
+// maxTime is the largest representable timestamp, used as the run limit
+// when no horizon applies.
+const maxTime = ^Time(0)
 
 // Priority orders events that fire on the same cycle. Lower runs first.
 // Most events use PrioNormal; arbiters that must observe every request
@@ -34,49 +82,19 @@ const (
 	PrioLate Priority = 1
 )
 
-type event struct {
-	t    Time
-	prio Priority
-	seq  uint64
-	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
+	now Time
+	q   eventQueue
+	seq uint64
+	// limit is the inclusive ceiling for the Sleep fast path: a process
+	// may only self-advance the clock to times t <= limit, the horizon of
+	// the innermost Run/RunUntil (matching runEvents' pop condition).
+	limit   Time
 	rng     *Rand
 	handoff chan struct{}
 	procs   map[*Proc]struct{}
-	current *Proc
 	pv      any
 	pstack  []byte
 	stopped bool
@@ -86,6 +104,7 @@ type Engine struct {
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
 		rng:     NewRand(seed),
+		limit:   maxTime,
 		handoff: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
 	}
@@ -97,6 +116,9 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
+// Pending returns the number of scheduled events, for instrumentation.
+func (e *Engine) Pending() int { return e.q.len() }
+
 // Schedule runs fn after d cycles at normal priority.
 func (e *Engine) Schedule(d Time, fn func()) { e.ScheduleAt(e.now+d, PrioNormal, fn) }
 
@@ -107,7 +129,23 @@ func (e *Engine) ScheduleAt(t Time, prio Priority, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{t: t, prio: prio, seq: e.seq, fn: fn})
+	key := e.seq
+	if prio == PrioLate {
+		key |= prioBit
+	}
+	e.q.push(event{t: t, key: key, fn: fn})
+}
+
+// scheduleProc enqueues a dispatch of p after d cycles. Unlike Schedule it
+// captures no closure: the event record carries the process pointer, so the
+// Sleep/Wake hot path is allocation-free.
+func (e *Engine) scheduleProc(d Time, p *Proc) {
+	t := e.now + d
+	if t < e.now {
+		panic(fmt.Sprintf("sim: wake of %s after %d cycles overflows the clock", p.name, d))
+	}
+	e.seq++
+	e.q.push(event{t: t, key: e.seq, p: p})
 }
 
 // DeadlockError reports that the event queue drained while processes were
@@ -125,8 +163,15 @@ func (d *DeadlockError) Error() string {
 // processes are still alive afterwards, and propagates any panic raised
 // inside a process.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		e.step()
+	e.limit = maxTime
+	for e.runEvents(nil) == tokenPassed {
+		<-e.handoff
+		if e.pv != nil {
+			e.rethrow()
+		}
+	}
+	if e.pv != nil {
+		e.rethrow()
 	}
 	return e.checkDeadlock()
 }
@@ -135,24 +180,74 @@ func (e *Engine) Run() error {
 // to t. Processes still running are left parked; call Shutdown to reclaim
 // their goroutines.
 func (e *Engine) RunUntil(t Time) error {
-	for len(e.events) > 0 && e.events[0].t <= t {
-		e.step()
+	e.limit = t
+	for e.runEvents(nil) == tokenPassed {
+		<-e.handoff
 		if e.pv != nil {
+			e.limit = maxTime
 			e.rethrow()
 		}
 	}
+	e.limit = maxTime
 	if e.now < t {
 		e.now = t
 	}
 	return nil
 }
 
-func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.t
-	ev.fn()
-	if e.pv != nil {
-		e.rethrow()
+// tokenState reports where the control token went after a runEvents call.
+type tokenState uint8
+
+const (
+	// tokenDone: the caller keeps the token — the queue is drained, the
+	// next event lies past the run horizon, or a process panic is pending
+	// and must travel to the engine for rethrow.
+	tokenDone tokenState = iota
+	// tokenPassed: the token was handed to another process over its resume
+	// channel; the caller must block until woken.
+	tokenPassed
+	// tokenSelf: the next event was the calling process's own wake-up; the
+	// caller keeps the token and simply continues running.
+	tokenSelf
+)
+
+// runEvents is the scheduler loop. The caller must hold the control token:
+// exactly one goroutine — the engine's, or that of a process that is about
+// to block — executes engine code at any instant, so no locking is needed
+// anywhere in the simulator.
+//
+// Callback events are run inline on the caller's goroutine. When a process
+// must run, the token is handed directly over its resume channel: direct
+// proc-to-proc baton passing makes a context switch one channel rendezvous
+// instead of two, because the engine goroutine stays parked while processes
+// pass control among themselves. self is the calling process (nil for the
+// engine loop); popping self's own wake-up returns tokenSelf instead of
+// deadlocking on a send-to-self, and costs no channel operation at all.
+func (e *Engine) runEvents(self *Proc) tokenState {
+	for {
+		if e.pv != nil || e.q.len() == 0 || e.q.min().t > e.limit {
+			return tokenDone
+		}
+		ev := e.q.pop()
+		e.now = ev.t
+		if ev.p == nil {
+			ev.fn()
+			continue
+		}
+		p := ev.p
+		if p.done || p.killed {
+			continue
+		}
+		if !p.parked {
+			panic("sim: dispatch of a process that is not parked (double wake?)")
+		}
+		p.parked = false
+		p.wakeQueued = false
+		if p == self {
+			return tokenSelf
+		}
+		p.resume <- struct{}{}
+		return tokenPassed
 	}
 }
 
@@ -197,22 +292,3 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Live returns the number of processes that have been started and have not
 // yet finished.
 func (e *Engine) Live() int { return len(e.procs) }
-
-func (e *Engine) dispatch(p *Proc) {
-	if p.done || p.killed {
-		return
-	}
-	if !p.parked {
-		panic("sim: dispatch of a process that is not parked (double wake?)")
-	}
-	prev := e.current
-	e.current = p
-	p.parked = false
-	p.wakeQueued = false
-	p.resume <- struct{}{}
-	<-e.handoff
-	e.current = prev
-	if p.done {
-		delete(e.procs, p)
-	}
-}

@@ -1,6 +1,9 @@
 package sim
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Proc is a cooperative simulation process. Exactly one process runs at any
 // instant; a process yields control by sleeping or parking, and the engine
@@ -27,22 +30,50 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{}), parked: true}
 	e.procs[p] = struct{}{}
 	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				p.eng.pv = r
-				p.eng.pstack = debugStack()
-			}
-			p.done = true
-			p.eng.handoff <- struct{}{}
-		}()
+		defer p.exit()
 		<-p.resume
 		if p.killed {
 			return
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.scheduleProc(0, p)
 	return p
+}
+
+// exit runs as the process goroutine's outermost defer: it records a panic
+// for the engine to rethrow, retires the process, and passes the control
+// token onward.
+func (p *Proc) exit() {
+	e := p.eng
+	if r := recover(); r != nil {
+		e.pv = r
+		e.pstack = debugStack()
+	}
+	p.done = true
+	if p.killed {
+		// Shutdown resumed us and is blocked on handoff; it owns all
+		// remaining bookkeeping.
+		e.handoff <- struct{}{}
+		return
+	}
+	delete(e.procs, p)
+	// The recover above has already fired, so a panic raised by a callback
+	// event run inline below would otherwise escape the goroutine and
+	// abort the program. Catch it and route it to the engine like any
+	// other process panic.
+	defer func() {
+		if r := recover(); r != nil {
+			e.pv = r
+			e.pstack = debugStack()
+			e.handoff <- struct{}{}
+		}
+	}()
+	// A dying process cannot be dispatched again (done is set), so run the
+	// scheduler with self=nil and hand the token to whoever is next.
+	if e.runEvents(nil) == tokenDone {
+		e.handoff <- struct{}{}
+	}
 }
 
 // Name returns the process name given to Go.
@@ -54,9 +85,20 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current simulation time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// yield transfers control to the engine and blocks until dispatched again.
+// yield passes the control token onward and blocks until dispatched again.
+// After the pass, this goroutine touches no engine state until its resume
+// channel fires, so the next token holder runs undisturbed. If the next
+// runnable event is this process's own wake-up (common when an inline
+// callback — a channel arbiter, an invalidation — immediately re-wakes the
+// parker), yield returns without any channel traffic.
 func (p *Proc) yield() {
-	p.eng.handoff <- struct{}{}
+	e := p.eng
+	switch e.runEvents(p) {
+	case tokenSelf:
+		return
+	case tokenDone:
+		e.handoff <- struct{}{}
+	}
 	<-p.resume
 	if p.killed {
 		runtime.Goexit()
@@ -66,10 +108,32 @@ func (p *Proc) yield() {
 // Sleep suspends the process for d cycles. Sleep(0) yields and resumes in
 // the same cycle, after other already-queued same-cycle events.
 func (p *Proc) Sleep(d Time) {
+	e := p.eng
+	t := e.now + d
+	if t < e.now {
+		panic(fmt.Sprintf("sim: sleep of %d cycles overflows the clock", d))
+	}
+	// Zero-handoff fast path: if this wake-up would be the very next event
+	// the engine pops — nothing else in the queue precedes (t, PrioNormal,
+	// next-seq), and t is within the run horizon — then parking and being
+	// re-dispatched would execute nothing in between. Advance the clock
+	// inline instead. The sequence number is still consumed so event
+	// ordering matches the slow path exactly.
+	if t <= e.limit {
+		// At equal times this event's sequence is the largest, so it only
+		// precedes the queue head on a strictly earlier time — or the same
+		// time when the head is PrioLate and this wake is PrioNormal.
+		if q := &e.q; len(q.ev) == 0 ||
+			t < q.ev[0].t || (t == q.ev[0].t && q.ev[0].key >= prioBit) {
+			e.seq++
+			e.now = t
+			return
+		}
+	}
 	p.parked = true
 	p.wakeQueued = true
 	p.reason = "sleep"
-	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	e.scheduleProc(d, p)
 	p.yield()
 }
 
@@ -98,7 +162,7 @@ func (p *Proc) Wake(d Time) {
 		panic("sim: Wake of process " + p.name + " that is not parked or already woken")
 	}
 	p.wakeQueued = true
-	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.eng.scheduleProc(d, p)
 }
 
 // Parked reports whether the process is currently parked without a pending

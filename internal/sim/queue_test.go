@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPoppedEventsDontPinClosures is a regression test for a memory
+// retention bug in the old container/heap event queue: the popped slot in
+// the underlying array kept the event's fn closure alive, pinning
+// everything the closure captured for the queue's lifetime. The queue must
+// zero vacated slots so executed closures are collectable.
+func TestPoppedEventsDontPinClosures(t *testing.T) {
+	e := NewEngine(1)
+	fin := make(chan struct{})
+	obj := new([1 << 20]byte)
+	runtime.SetFinalizer(obj, func(*[1 << 20]byte) { close(fin) })
+	e.Schedule(1, func() { obj[0] = 1 })
+	// A later event keeps the queue non-empty across the pop, so the
+	// vacated slot is a live array slot rather than a freed slice.
+	e.Schedule(2, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	obj = nil
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-fin:
+			return
+		case <-deadline:
+			t.Fatal("popped event still pins its closure: slot not zeroed")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestEventQueueOrderProperty drives the 4-ary heap with adversarial
+// timestamps and checks it pops in exact (time, priority, sequence) order.
+func TestEventQueueOrderProperty(t *testing.T) {
+	rng := NewRand(77)
+	var q eventQueue
+	var seq uint64
+	type ref struct {
+		t   Time
+		key uint64
+	}
+	var want []ref
+	pushOne := func() {
+		seq++
+		ts := Time(rng.Intn(50))
+		key := seq
+		if rng.Intn(3) == 0 {
+			key |= prioBit
+		}
+		q.push(event{t: ts, key: key, fn: func() {}})
+		want = append(want, ref{ts, key})
+	}
+	popOne := func() {
+		best := 0
+		for i := 1; i < len(want); i++ {
+			if want[i].t < want[best].t ||
+				(want[i].t == want[best].t && want[i].key < want[best].key) {
+				best = i
+			}
+		}
+		ev := q.pop()
+		if ev.t != want[best].t || ev.key != want[best].key {
+			t.Fatalf("pop = (%d,%#x), want (%d,%#x)", ev.t, ev.key, want[best].t, want[best].key)
+		}
+		want = append(want[:best], want[best+1:]...)
+	}
+	// Interleave pushes and pops so the heap is exercised at many sizes.
+	for round := 0; round < 2000; round++ {
+		if len(want) == 0 || rng.Intn(3) > 0 {
+			pushOne()
+		} else {
+			popOne()
+		}
+	}
+	for len(want) > 0 {
+		popOne()
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.len())
+	}
+}

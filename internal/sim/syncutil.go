@@ -3,8 +3,13 @@ package sim
 // WaitQueue is a FIFO list of parked processes. Hardware models use it to
 // block processes on a condition and wake them when the condition changes.
 // The zero value is an empty queue ready to use.
+//
+// The queue is a head-indexed deque over a reused backing array: spin loops
+// park and wake the same processes over and over, and re-growing the queue
+// each round is measurable garbage on hot coherence lines.
 type WaitQueue struct {
-	ps []*Proc
+	ps   []*Proc
+	head int
 }
 
 // Wait parks p on the queue until some other event wakes it.
@@ -14,34 +19,58 @@ func (q *WaitQueue) Wait(p *Proc, reason string) {
 }
 
 // Len returns the number of waiting processes.
-func (q *WaitQueue) Len() int { return len(q.ps) }
+func (q *WaitQueue) Len() int { return len(q.ps) - q.head }
 
 // WakeAll wakes every waiter after d cycles, in FIFO order.
 func (q *WaitQueue) WakeAll(d Time) {
-	for _, p := range q.ps {
-		p.Wake(d)
+	for i := q.head; i < len(q.ps); i++ {
+		q.ps[i].Wake(d)
+		q.ps[i] = nil
 	}
-	q.ps = nil
+	q.ps = q.ps[:0]
+	q.head = 0
 }
 
 // WakeOne wakes the oldest waiter after d cycles. It reports whether a
 // process was woken.
 func (q *WaitQueue) WakeOne(d Time) bool {
-	if len(q.ps) == 0 {
+	if q.Len() == 0 {
 		return false
 	}
-	p := q.ps[0]
-	q.ps = q.ps[1:]
+	p := q.ps[q.head]
+	q.ps[q.head] = nil
+	q.head++
+	q.ps, q.head = compact(q.ps, q.head)
 	p.Wake(d)
 	return true
+}
+
+// compact reclaims a deque's dead prefix once it reaches half the backing
+// array, keeping memory proportional to live waiters rather than to total
+// traffic through the queue. Amortized O(1) per operation.
+func compact(ps []*Proc, head int) ([]*Proc, int) {
+	if head*2 < len(ps) {
+		return ps, head
+	}
+	n := copy(ps, ps[head:])
+	for i := n; i < len(ps); i++ {
+		ps[i] = nil
+	}
+	return ps[:n], 0
 }
 
 // Remove drops p from the queue without waking it. It reports whether p was
 // found. The caller is responsible for waking p by other means.
 func (q *WaitQueue) Remove(p *Proc) bool {
-	for i, w := range q.ps {
-		if w == p {
-			q.ps = append(q.ps[:i], q.ps[i+1:]...)
+	for i := q.head; i < len(q.ps); i++ {
+		if q.ps[i] == p {
+			copy(q.ps[i:], q.ps[i+1:])
+			q.ps[len(q.ps)-1] = nil
+			q.ps = q.ps[:len(q.ps)-1]
+			if q.head == len(q.ps) {
+				q.ps = q.ps[:0]
+				q.head = 0
+			}
 			return true
 		}
 	}
@@ -50,10 +79,12 @@ func (q *WaitQueue) Remove(p *Proc) bool {
 
 // Resource is a FIFO mutual-exclusion resource in simulation time, used to
 // model structures that serve one transaction at a time (a directory line,
-// an L2 bank, a memory controller port). The zero value is free.
+// an L2 bank, a memory controller port). The zero value is free. Like
+// WaitQueue, the waiter list is a head-indexed deque over a reused array.
 type Resource struct {
 	owner *Proc
 	q     []*Proc
+	head  int
 	// BusyCycles accumulates total time the resource was held, for
 	// utilization statistics. Updated on Release.
 	BusyCycles Time
@@ -81,18 +112,22 @@ func (r *Resource) Release(p *Proc) {
 		panic("sim: Release by non-owner")
 	}
 	r.BusyCycles += p.eng.now - r.acquiredAt
-	if len(r.q) == 0 {
+	if r.head == len(r.q) {
 		r.owner = nil
+		r.q = r.q[:0]
+		r.head = 0
 		return
 	}
-	next := r.q[0]
-	r.q = r.q[1:]
+	next := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	r.q, r.head = compact(r.q, r.head)
 	r.owner = next
 	next.Wake(0)
 }
 
 // QueueLen returns the number of processes waiting for the resource.
-func (r *Resource) QueueLen() int { return len(r.q) }
+func (r *Resource) QueueLen() int { return len(r.q) - r.head }
 
 // Held reports whether the resource is currently owned.
 func (r *Resource) Held() bool { return r.owner != nil }
