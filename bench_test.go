@@ -135,6 +135,61 @@ func BenchmarkFig11Sensitivity(b *testing.B) {
 	b.ReportMetric(slowNetGM, "slownet-geomean")
 }
 
+// BenchmarkTxnContended is the continuation-rewrite workload: every core
+// hammers one synchronization word with fetch&add, so the entire run is
+// back-to-back contended transactions — directory-line storms through mem
+// on Baseline, broadcast RMW storms through bmem/wireless on WiSyncNoT.
+// ns/op is simulator wall time; cyc is the simulated result, which must not
+// move when the engine changes (the golden-conformance suite pins the same
+// paths exactly).
+func BenchmarkTxnContended(b *testing.B) {
+	const cores = 64
+	const opsPerCore = 50
+	b.Run("mem", func(b *testing.B) {
+		var cyc float64
+		for i := 0; i < b.N; i++ {
+			m := core.NewMachine(config.New(config.Baseline, cores))
+			line := m.AllocLine()
+			m.SpawnAll(func(t *core.Thread) {
+				for k := 0; k < opsPerCore; k++ {
+					t.FetchAdd(line, 1)
+				}
+			})
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if got := m.Mem.Peek(line); got != cores*opsPerCore {
+				b.Fatalf("fetch&add lost updates: %d != %d", got, cores*opsPerCore)
+			}
+			cyc = float64(m.Now())
+		}
+		b.ReportMetric(cyc, "cyc")
+	})
+	b.Run("bmem", func(b *testing.B) {
+		var cyc float64
+		for i := 0; i < b.N; i++ {
+			m := core.NewMachine(config.New(config.WiSyncNoT, cores))
+			addr, err := m.BM.AllocBare(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.SpawnAll(func(t *core.Thread) {
+				for k := 0; k < opsPerCore; k++ {
+					t.BMFetchAdd(addr, 1)
+				}
+			})
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if got := m.BM.Peek(addr); got != cores*opsPerCore {
+				b.Fatalf("broadcast fetch&add lost updates: %d != %d", got, cores*opsPerCore)
+			}
+			cyc = float64(m.Now())
+		}
+		b.ReportMetric(cyc, "cyc")
+	})
+}
+
 // ---- Ablations (DESIGN.md section 5) ----
 
 // benchBarrier measures one barrier configuration's cycles/episode.

@@ -113,17 +113,26 @@ func (b *BM) RMW(p *sim.Proc, node int, pid uint16, addr uint32, f func(uint64) 
 // and every replica applies it to the committed value at commit time. The
 // returned old value is the committed value the operation observed;
 // atomicity cannot fail (ok is always true).
+//
+// The local BM read and the channel submission run as engine-scheduled
+// continuations: the thread parks exactly once for the whole RMW and is
+// dispatched directly by the commit (or grant-abandon) event, instead of
+// waking after the pipeline read only to park again on the channel. The
+// scheduled submission lands at the same (time, priority, sequence)
+// position as the blocking read's wake-up did, so results are
+// bit-identical to the blocking form.
 func (b *BM) rmwAtGrant(p *sim.Proc, node int, pid uint16, addr uint32, f func(uint64) (uint64, bool)) (uint64, bool, error) {
 	b.wcb[node] = false
 	b.afb[node] = false
-	// The instruction still reads the local BM into the pipeline.
-	p.Sleep(b.p.RT)
 	var old uint64
 	op := func(cur uint64) (uint64, bool) {
 		old = cur
 		return f(cur)
 	}
-	b.net.Send(p, wireless.Msg{Src: node, Addr: addr, Kind: wireless.KindRMW, PID: pid, Op: op}, nil)
+	// The instruction still reads the local BM into the pipeline (RT),
+	// then contends for the channel.
+	b.scheduleSend(b.p.RT, p, wireless.Msg{Src: node, Addr: addr, Kind: wireless.KindRMW, PID: pid, Op: op})
+	p.Park("bm rmw")
 	b.wcb[node] = true
 	return old, true, nil
 }

@@ -5,8 +5,10 @@ import (
 
 	"wisync/internal/config"
 	"wisync/internal/core"
+	"wisync/internal/mem"
 	"wisync/internal/sim"
 	"wisync/internal/syncprims"
+	"wisync/internal/wireless"
 )
 
 // CASKind selects one of the lock-free CAS kernels of Table 3.
@@ -46,6 +48,9 @@ type CASResult struct {
 	Failures  uint64
 	// Per1000 is the Figure 9 metric: successful CASes per 1000 cycles.
 	Per1000 float64
+	// Mem and Net expose the machine's protocol counters (see Result).
+	Mem mem.Stats
+	Net wireless.Stats
 }
 
 func (r CASResult) String() string {
@@ -126,12 +131,17 @@ func CASKernel(cfg config.Config, kind CASKind, csInstr int, duration sim.Time) 
 	if err := m.RunUntil(duration); err != nil {
 		panic(err)
 	}
-	return CASResult{
+	r := CASResult{
 		Cfg:       cfg,
 		Kind:      kind,
 		Duration:  duration,
 		Successes: successes,
 		Failures:  failures,
 		Per1000:   1000 * float64(successes) / float64(duration),
+		Mem:       m.Mem.Stats,
 	}
+	if m.Net != nil {
+		r.Net = m.Net.Stats
+	}
+	return r
 }

@@ -19,7 +19,24 @@ import (
 	"wisync/internal/mem"
 	"wisync/internal/sim"
 	"wisync/internal/syncprims"
+	"wisync/internal/wireless"
 )
+
+// result assembles a Result from a finished machine, capturing the
+// machine-level protocol counters alongside the headline timing.
+func result(m *core.Machine, iters int) Result {
+	r := Result{
+		Cfg:             m.Cfg,
+		Cycles:          m.Now(),
+		Iterations:      iters,
+		DataChannelUtil: m.DataChannelUtilization(),
+		Mem:             m.Mem.Stats,
+	}
+	if m.Net != nil {
+		r.Net = m.Net.Stats
+	}
+	return r
+}
 
 // Result reports one kernel execution.
 type Result struct {
@@ -29,6 +46,12 @@ type Result struct {
 	// DataChannelUtil is the wireless Data channel utilization (0 for
 	// wired configurations).
 	DataChannelUtil float64
+	// Mem and Net expose the machine's protocol counters. The golden-
+	// conformance suite pins them exactly, so any change to transaction
+	// ordering — not just to end-to-end cycle counts — is detected.
+	// Net is zero on wired configurations.
+	Mem mem.Stats
+	Net wireless.Stats
 }
 
 // CyclesPerIteration returns the average iteration time.
@@ -88,12 +111,7 @@ func TightLoop(cfg config.Config, iters int) Result {
 	if err := m.Run(); err != nil {
 		panic(err)
 	}
-	return Result{
-		Cfg:             cfg,
-		Cycles:          m.Now(),
-		Iterations:      iters,
-		DataChannelUtil: m.DataChannelUtilization(),
-	}
+	return result(m, iters)
 }
 
 // chunk returns the [lo, hi) slice of an n-element range assigned to

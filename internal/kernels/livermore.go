@@ -63,12 +63,7 @@ func Livermore2(cfg config.Config, n int, passes int) (Result, []float64) {
 	if err := m.Run(); err != nil {
 		panic(err)
 	}
-	return Result{
-		Cfg:             cfg,
-		Cycles:          m.Now(),
-		Iterations:      passes,
-		DataChannelUtil: m.DataChannelUtilization(),
-	}, x
+	return result(m, passes), x
 }
 
 // Livermore3 is Livermore loop 3, an inner product: each thread forms a
@@ -110,12 +105,7 @@ func Livermore3(cfg config.Config, n int, passes int) (Result, float64) {
 	for _, p := range partials {
 		sum += p
 	}
-	return Result{
-		Cfg:             cfg,
-		Cycles:          m.Now(),
-		Iterations:      passes,
-		DataChannelUtil: m.DataChannelUtilization(),
-	}, sum
+	return result(m, passes), sum
 }
 
 // Livermore6 is Livermore loop 6, a general linear recurrence: step i needs
@@ -164,12 +154,7 @@ func Livermore6(cfg config.Config, n int) (Result, []float64) {
 	if err := m.Run(); err != nil {
 		panic(err)
 	}
-	return Result{
-		Cfg:             cfg,
-		Cycles:          m.Now(),
-		Iterations:      n - 1,
-		DataChannelUtil: m.DataChannelUtilization(),
-	}, w
+	return result(m, n-1), w
 }
 
 // seqVector builds a deterministic pseudo-random vector of small values.

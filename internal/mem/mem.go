@@ -138,7 +138,10 @@ func trailingZeros(w uint64) int {
 
 // dirLine is the directory entry for one line, held at its home bank.
 type dirLine struct {
-	res     sim.Resource
+	// res serializes transactions on the line. It is an AsyncResource:
+	// transactions run as engine-scheduled continuation chains (see txn.go),
+	// so line arbitration never parks a goroutine.
+	res     sim.AsyncResource
 	owner   int // core holding E/M/O, or -1
 	sharers bitset
 	inL2    bool
@@ -172,7 +175,11 @@ type System struct {
 	l1    []l1cache
 	dir   map[uint64]*dirLine
 	words map[uint64]uint64
-	mc    [4]sim.Resource
+	mc    [4]sim.AsyncResource
+	// txnFree recycles transaction state machines; the engine is single-
+	// threaded, so a plain freelist suffices and steady-state transactions
+	// allocate nothing.
+	txnFree []*txn
 	// Stats is exported for harness reporting.
 	Stats Stats
 	// TraceLine and Trace enable transaction tracing for one line, for

@@ -63,37 +63,174 @@ func (s *System) RMW(p *sim.Proc, core int, addr uint64, f func(uint64) (uint64,
 // is a read (Shared grant); otherwise an exclusive grant applying f to the
 // word at addr at the serialization point. It returns the observed value
 // and the grant state.
+//
+// The protocol executes as a chain of engine-scheduled continuations (the
+// txn state machine below): the requesting process parks exactly once here
+// and is dispatched directly by the final reply event. A contended
+// transaction storm therefore costs one goroutine suspension per
+// transaction instead of one per protocol step — line arbitration, settle
+// waits, memory-controller queueing and hold times all run as callback
+// events on whichever goroutine is already driving the engine. Every
+// continuation is scheduled at exactly the (time, priority, sequence)
+// position where the blocking form slept or woke, so simulated results are
+// bit-identical to the blocking implementation this replaced (pinned by
+// the golden-conformance suite in package harness).
 func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f func(uint64) (uint64, bool)) (uint64, State) {
+	t := s.startTxn(p, core, line, addr, f)
+	p.Park("mem txn")
+	old, grant := t.old, t.grant
+	if grant != Invalid && s.l1[core].epochs[line] == t.epoch {
+		s.fill(p, core, line, grant)
+		if s.Trace != nil {
+			s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
+		}
+	}
+	s.freeTxn(t)
+	return old, grant
+}
+
+// txnStep selects the statement block a transaction continuation executes
+// when its pending event fires.
+type txnStep uint8
+
+const (
+	// stepArrive: the request reached the home bank; acquire the line.
+	stepArrive txnStep = iota
+	// stepHeld: the line is acquired; wait out a settling prior grant.
+	stepHeld
+	// stepDecide: decide the grant, issue invalidations, start fetches.
+	stepDecide
+	// stepSharedRecord: record the sharer/owner after a shared-grant fetch.
+	stepSharedRecord
+	// stepExclRecord: take ownership after an exclusive-grant fetch.
+	stepExclRecord
+	// stepFetchOcc: the memory-controller port is acquired; pay occupancy.
+	stepFetchOcc
+	// stepFetchRel: occupancy paid; release the port and resume at next.
+	stepFetchRel
+	// stepServe: the home-side hold elapsed; serialize, release, reply.
+	stepServe
+)
+
+// txn is one directory transaction running as an engine-scheduled
+// continuation chain. Each suspension of the old blocking form (request
+// flight, settle wait, controller occupancy, hold, reply flight) is one
+// scheduled firing of step; the requester sleeps through all of them and
+// is dispatched once, by serve.
+type txn struct {
+	s    *System
+	p    *sim.Proc // requester, parked in transact until the reply arrives
+	core int
+	line uint64
+	addr uint64
+	f    func(uint64) (uint64, bool)
+
+	d     *dirLine
+	home  int
+	state txnStep
+	next  txnStep // continuation after the memory-fetch sub-chain
+	step  func()  // cached method value of run; scheduled for every event
+
+	rmwNew     uint64
+	noWriteRMW bool
+	hold       sim.Time
+	ackWait    sim.Time
+	fwdSrc     int
+	hadOwner   bool
+	fetchLat   sim.Time
+	fetchMC    int
+
+	// Results read by transact once the requester is dispatched.
+	old   uint64
+	grant State
+	epoch uint64
+}
+
+// startTxn launches the chain: the request travels core -> home and
+// arrives at stepArrive.
+func (s *System) startTxn(p *sim.Proc, core int, line, addr uint64, f func(uint64) (uint64, bool)) *txn {
 	s.Stats.Transactions++
-	home := s.home(line)
+	t := s.newTxn()
+	t.p, t.core, t.line, t.addr, t.f = p, core, line, addr, f
+	t.home = s.home(line)
+	t.state = stepArrive
+	s.eng.Schedule(sim.Time(s.mesh.Latency(core, t.home)), t.step)
+	return t
+}
 
-	// Request travels core -> home.
-	p.Sleep(sim.Time(s.mesh.Latency(core, home)))
-
-	d := s.dirFor(line)
-	d.res.Acquire(p, "dirline")
-	if s.eng.Now() < d.settleAt {
-		// A previous ownership grant is still settling at its owner.
-		p.Sleep(d.settleAt - s.eng.Now())
+func (s *System) newTxn() *txn {
+	if n := len(s.txnFree); n > 0 {
+		t := s.txnFree[n-1]
+		s.txnFree = s.txnFree[:n-1]
+		return t
 	}
+	t := &txn{s: s}
+	t.step = t.run
+	return t
+}
+
+func (s *System) freeTxn(t *txn) {
+	t.p, t.f, t.d = nil, nil, nil
+	s.txnFree = append(s.txnFree, t)
+}
+
+// run executes the pending step. The step bodies are the statement blocks
+// of the original blocking transact, with each Sleep replaced by
+// scheduling the successor step at the same delay.
+func (t *txn) run() {
+	s := t.s
+	switch t.state {
+	case stepArrive:
+		t.d = s.dirFor(t.line)
+		t.state = stepHeld
+		t.d.res.Acquire(s.eng, t.step)
+	case stepHeld:
+		if now := s.eng.Now(); now < t.d.settleAt {
+			// A previous ownership grant is still settling at its owner.
+			t.state = stepDecide
+			s.eng.Schedule(t.d.settleAt-now, t.step)
+			return
+		}
+		t.decide()
+	case stepDecide:
+		t.decide()
+	case stepSharedRecord:
+		t.sharedRecord()
+	case stepExclRecord:
+		t.exclRecord()
+	case stepFetchOcc:
+		t.state = stepFetchRel
+		s.eng.Schedule(s.p.MemCtrlOcc, t.step)
+	case stepFetchRel:
+		s.mc[t.fetchMC].Release(s.eng)
+		t.d.inL2 = true
+		t.hold += t.fetchLat + s.p.MemRT
+		t.state = t.next
+		t.run() // the interrupted decide branch continues inline
+	case stepServe:
+		t.serve()
+	}
+}
+
+// decide runs with the line held: the committed word value cannot change,
+// so an RMW decision made now is the serialization decision. A no-write
+// RMW (failed compare) is serviced like an uncached read: the requester
+// learns the value but installs no copy and registers as no sharer — so
+// CAS retry storms neither inflate the sharer set nor pay ownership
+// transfers.
+func (t *txn) decide() {
+	s, d := t.s, t.d
 	if s.Trace != nil {
-		s.trace(line, "t=%d core=%d txn f=%v owner=%d sharers=%d", s.eng.Now(), core, f != nil, d.owner, d.sharers.count())
+		s.trace(t.line, "t=%d core=%d txn f=%v owner=%d sharers=%d", s.eng.Now(), t.core, t.f != nil, d.owner, d.sharers.count())
 	}
 
-	// The line is held: the committed word value cannot change, so an RMW
-	// decision made now is the serialization decision. A no-write RMW
-	// (failed compare) is serviced like an uncached read: the requester
-	// learns the value but installs no copy and registers as no sharer —
-	// so CAS retry storms neither inflate the sharer set nor pay
-	// ownership transfers.
-	var rmwNew uint64
+	t.rmwNew, t.noWriteRMW = 0, false
 	doWrite := false
-	noWriteRMW := false
-	if f != nil {
-		rmwNew, doWrite = f(s.words[addr])
+	if t.f != nil {
+		t.rmwNew, doWrite = t.f(s.words[t.addr])
 		if !doWrite {
-			f = nil
-			noWriteRMW = true
+			t.f = nil
+			t.noWriteRMW = true
 		}
 	}
 
@@ -101,49 +238,39 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 	// requester pays after the home moves on (invalidation acks collect at
 	// the requester, off the home's critical path, as in ack-counting
 	// directory protocols).
-	var hold, ackWait sim.Time
-	fwdSrc := -1
-	hadOwner := d.owner >= 0
-	if f == nil { // ---- Shared grant ----
+	t.hold, t.ackWait = 0, 0
+	t.fwdSrc = -1
+	t.hadOwner = d.owner >= 0
+	if t.f == nil { // ---- Shared grant ----
 		sl := (*l1slot)(nil)
-		if d.owner >= 0 && d.owner != core {
-			sl = s.l1[d.owner].lookup(s.setsMask(), line)
+		if d.owner >= 0 && d.owner != t.core {
+			sl = s.l1[d.owner].lookup(s.setsMask(), t.line)
 		}
 		switch {
-		case d.owner >= 0 && d.owner != core &&
+		case d.owner >= 0 && d.owner != t.core &&
 			sl != nil && (sl.state == Modified || sl.state == Exclusive):
 			// Settled owner: forward; owner supplies data and
 			// downgrades M/E -> O (stays owner, MOESI).
 			s.Stats.Forwards++
-			fwdSrc = d.owner
-			hold = sim.Time(s.mesh.Latency(home, d.owner)) + s.p.L1RT
+			t.fwdSrc = d.owner
+			t.hold = sim.Time(s.mesh.Latency(t.home, d.owner)) + s.p.L1RT
 			sl.state = Owned
-		case d.owner >= 0 && d.owner != core:
+		case d.owner >= 0 && d.owner != t.core:
 			// Owner evicted or holds only a downgraded copy; recall
 			// it entirely (copy, in-flight fill, and spinners) and
 			// serve from home, so the directory and the L1s never
 			// disagree about ownership.
-			s.invalidateL1(d.owner, line)
+			s.invalidateL1(d.owner, t.line)
 			d.owner = -1
 			d.inL2 = true
-			hold = s.p.L2RT
+			t.hold = s.p.L2RT
 		case d.inL2:
-			hold = s.p.L2RT
+			t.hold = s.p.L2RT
 		default:
-			hold = s.fetchFromMemory(p, home, line)
+			t.startFetch(stepSharedRecord)
+			return
 		}
-		switch {
-		case noWriteRMW:
-			// Value-only reply: no copy installed, nothing recorded.
-		case !hadOwner && d.sharers.count() == 0:
-			// Genuinely sole copy: grant Exclusive. (When an owner's
-			// grant was in flight and had to be aborted, grant only
-			// Shared, or a burst of first readers would steal E from
-			// each other's unfinished fills.)
-			d.owner = core
-		default:
-			d.sharers.set(core)
-		}
+		t.sharedRecord()
 	} else { // ---- Exclusive grant ----
 		// Invalidate every other copy. The home issues the
 		// invalidations (occupying the line briefly); the farthest ack
@@ -151,90 +278,128 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 		maxHops := 0
 		ninv := 0
 		d.sharers.forEach(func(i int) {
-			if i == core {
+			if i == t.core {
 				return
 			}
 			ninv++
-			if h := s.mesh.Hops(home, i); h > maxHops {
+			if h := s.mesh.Hops(t.home, i); h > maxHops {
 				maxHops = h
 			}
-			s.invalidateL1(i, line)
+			s.invalidateL1(i, t.line)
 		})
 		d.sharers = bitset{}
-		if d.owner >= 0 && d.owner != core {
+		if d.owner >= 0 && d.owner != t.core {
 			ninv++
-			if h := s.mesh.Hops(home, d.owner); h > maxHops {
+			if h := s.mesh.Hops(t.home, d.owner); h > maxHops {
 				maxHops = h
 			}
-			s.invalidateL1(d.owner, line)
+			s.invalidateL1(d.owner, t.line)
 			d.inL2 = true // owner's (possibly dirty) data returns home
 		}
 		switch {
 		case ninv > 0:
-			hold = s.p.L2RT + s.invIssueOccupancy(ninv)
-			ackWait = s.invAckLatency(maxHops, ninv)
+			t.hold = s.p.L2RT + s.invIssueOccupancy(ninv)
+			t.ackWait = s.invAckLatency(maxHops, ninv)
 			if !d.inL2 {
-				hold += s.fetchFromMemory(p, home, line)
+				t.startFetch(stepExclRecord)
+				return
 			}
-		case d.inL2 || d.owner == core:
-			hold = s.p.L2RT
+		case d.inL2 || d.owner == t.core:
+			t.hold = s.p.L2RT
 		default:
-			hold = s.fetchFromMemory(p, home, line)
+			t.startFetch(stepExclRecord)
+			return
 		}
-		d.owner = core
+		t.exclRecord()
 	}
+}
 
-	p.Sleep(hold)
+// sharedRecord runs the shared-grant bookkeeping (after the memory fetch,
+// when one was needed), then waits out the home-side hold.
+func (t *txn) sharedRecord() {
+	d := t.d
+	switch {
+	case t.noWriteRMW:
+		// Value-only reply: no copy installed, nothing recorded.
+	case !t.hadOwner && d.sharers.count() == 0:
+		// Genuinely sole copy: grant Exclusive. (When an owner's
+		// grant was in flight and had to be aborted, grant only
+		// Shared, or a burst of first readers would steal E from
+		// each other's unfinished fills.)
+		d.owner = t.core
+	default:
+		d.sharers.set(t.core)
+	}
+	t.state = stepServe
+	t.s.eng.Schedule(t.hold, t.step)
+}
 
-	// Serialization point: sample, and for exclusive grants apply the
-	// update decided at acquire time (the value cannot have changed while
-	// the line was held). Grant state and data source are captured before
-	// releasing the line, since other transactions may mutate directory
-	// state while the reply is in flight.
-	old := s.words[addr]
+// exclRecord takes ownership (after the memory fetch, when one was
+// needed), then waits out the home-side hold.
+func (t *txn) exclRecord() {
+	t.d.owner = t.core
+	t.state = stepServe
+	t.s.eng.Schedule(t.hold, t.step)
+}
+
+// serve is the serialization point: sample, and for exclusive grants apply
+// the update decided at decide time (the value cannot have changed while
+// the line was held). Grant state and data source are captured before
+// releasing the line, since other transactions may mutate directory state
+// while the reply is in flight.
+func (t *txn) serve() {
+	s, d := t.s, t.d
+	old := s.words[t.addr]
 	grant := Shared
 	switch {
-	case f != nil:
-		s.words[addr] = rmwNew
+	case t.f != nil:
+		s.words[t.addr] = t.rmwNew
 		grant = Modified
-	case noWriteRMW:
+	case t.noWriteRMW:
 		grant = Invalid // value-only reply, nothing installed
-	case d.owner == core:
+	case d.owner == t.core:
 		grant = Exclusive
 	}
-	src := home
-	if fwdSrc >= 0 {
-		src = fwdSrc
+	src := t.home
+	if t.fwdSrc >= 0 {
+		src = t.fwdSrc
 	}
-	// The home is done once the reply leaves; conflicting requests may be
-	// granted while our reply is in flight. The epoch check below keeps a
-	// fill that was overtaken by an invalidation from installing a stale
-	// copy.
 	if s.Trace != nil {
-		s.trace(line, "t=%d core=%d served old=%d grant=%v", s.eng.Now(), core, old, grant)
+		s.trace(t.line, "t=%d core=%d served old=%d grant=%v", s.eng.Now(), t.core, old, grant)
 	}
 	// The home releases once the reply (and any invalidations) are issued;
 	// the requester pays the reply flight and, for writes, the farthest
 	// invalidation-ack round trip, whichever is longer. Ownership grants
-	// mark the line settling until then. The epoch check keeps a fill
-	// overtaken by a later invalidation from installing a stale copy.
-	epoch := s.l1[core].epochs[line]
-	wait := sim.Time(s.mesh.Latency(src, core)) + s.p.L1RT
-	if ackWait > wait {
-		wait = ackWait
+	// mark the line settling until then. The epoch captured here lets
+	// transact reject a fill overtaken by a later invalidation.
+	t.epoch = s.l1[t.core].epochs[t.line]
+	wait := sim.Time(s.mesh.Latency(src, t.core)) + s.p.L1RT
+	if t.ackWait > wait {
+		wait = t.ackWait
 	}
 	if grant == Modified || grant == Exclusive {
 		d.settleAt = s.eng.Now() + wait
 	}
-	d.res.Release(p)
-	p.Sleep(wait)
-	if grant != Invalid && s.l1[core].epochs[line] == epoch {
-		s.fill(p, core, line, grant)
-		if s.Trace != nil {
-			s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
-		}
-	}
-	return old, grant
+	d.res.Release(s.eng)
+	t.old, t.grant = old, grant
+	// The reply dispatches the requester directly after the flight (and
+	// ack) wait — the single process wake of the whole transaction.
+	t.p.Wake(wait)
+}
+
+// startFetch begins the continuation mirror of the old fetchFromMemory:
+// charge a trip from home to a memory controller and the off-chip round
+// trip; the controller port is a bandwidth-limited resource. The added
+// hold accumulates into t.hold and the chain resumes at next.
+func (t *txn) startFetch(next txnStep) {
+	s := t.s
+	s.Stats.MemFetches++
+	ci, cnode := s.mesh.ControllerFor(t.line)
+	t.fetchMC = ci
+	t.fetchLat = sim.Time(2 * s.mesh.Latency(t.home, cnode))
+	t.next = next
+	t.state = stepFetchOcc
+	s.mc[ci].Acquire(s.eng, t.step)
 }
 
 // invIssueOccupancy is how long the home is busy issuing ninv
@@ -268,21 +433,6 @@ func log2ceil(n int) int {
 		l++
 	}
 	return l
-}
-
-// fetchFromMemory charges a trip from home to a memory controller and the
-// off-chip round trip, returning the added hold time. The controller port
-// is a bandwidth-limited resource.
-func (s *System) fetchFromMemory(p *sim.Proc, home int, line uint64) sim.Time {
-	s.Stats.MemFetches++
-	ci, cnode := s.mesh.ControllerFor(line)
-	lat := sim.Time(2 * s.mesh.Latency(home, cnode))
-	s.mc[ci].Acquire(p, "memctrl")
-	p.Sleep(s.p.MemCtrlOcc)
-	s.mc[ci].Release(p)
-	d := s.dirFor(line)
-	d.inL2 = true
-	return lat + s.p.MemRT
 }
 
 // invalidateL1 removes line from core's L1 and wakes any spinners on it.

@@ -1,0 +1,119 @@
+package sim
+
+// This file holds the continuation ("async") mirrors of the blocking
+// process primitives in syncutil.go. Hardware models written as engine-
+// scheduled continuations — chains of callback events instead of a
+// goroutine that sleeps its way through a transaction — use these where
+// blocking code uses WaitQueue and Resource.
+//
+// The mirrors are built so that converting a blocking model to
+// continuation form is bit-identical by construction. The blocking
+// primitives consume exactly one event-queue sequence number per suspension
+// (Sleep and Wake each schedule one dispatch; a free Acquire and a busy
+// enqueue schedule none), and the mirrors consume sequence numbers at
+// exactly the same execution points: a scheduled callback and a process
+// dispatch with the same delay produce events with identical
+// (time, priority, sequence) keys, so the engine pops them — and therefore
+// runs the model's next step — at exactly the same position in the total
+// event order. Only the goroutine that executes the step changes, and with
+// it the cost: a continuation step is a heap push and a function call
+// (~50 ns) where a forced process switch pays a Go-scheduler park/unpark
+// (~700 ns). See the package comment's execution-model section.
+
+// AsyncWaitQueue is the continuation mirror of WaitQueue: a FIFO list of
+// completion callbacks blocked on a condition. Waking schedules each
+// callback as an ordinary engine event after the given delay — the same
+// (time, priority, sequence) position at which WaitQueue would have
+// dispatched a parked process. The zero value is an empty queue ready to
+// use; like WaitQueue, the backing array is a head-indexed deque reused
+// across wake/wait cycles.
+type AsyncWaitQueue struct {
+	fns  []func()
+	head int
+}
+
+// Wait enqueues then to run when the queue is woken.
+func (q *AsyncWaitQueue) Wait(then func()) { q.fns = append(q.fns, then) }
+
+// Len returns the number of waiting continuations.
+func (q *AsyncWaitQueue) Len() int { return len(q.fns) - q.head }
+
+// WakeAll schedules every waiter to run after d cycles, in FIFO order.
+func (q *AsyncWaitQueue) WakeAll(e *Engine, d Time) {
+	for i := q.head; i < len(q.fns); i++ {
+		e.Schedule(d, q.fns[i])
+		q.fns[i] = nil
+	}
+	q.fns = q.fns[:0]
+	q.head = 0
+}
+
+// WakeOne schedules the oldest waiter to run after d cycles. It reports
+// whether a continuation was woken.
+func (q *AsyncWaitQueue) WakeOne(e *Engine, d Time) bool {
+	if q.Len() == 0 {
+		return false
+	}
+	fn := q.fns[q.head]
+	q.fns[q.head] = nil
+	q.head++
+	q.fns, q.head = compact(q.fns, q.head)
+	e.Schedule(d, fn)
+	return true
+}
+
+// AsyncResource is the continuation mirror of Resource: a FIFO mutual-
+// exclusion resource in simulation time whose waiters are completion
+// callbacks instead of parked processes. The zero value is free.
+//
+// Grant positions match Resource exactly: a free Acquire runs `then`
+// inline (where the blocking Acquire returned without an event), and a
+// Release with waiters schedules the next grant at the release cycle (where
+// the blocking Release woke the next parked process with Wake(0)).
+type AsyncResource struct {
+	held bool
+	q    AsyncWaitQueue
+	// BusyCycles accumulates total time the resource was held, for
+	// utilization statistics. Updated on Release.
+	BusyCycles Time
+	acquiredAt Time
+}
+
+// Acquire grants the resource to the caller and runs then at the grant
+// cycle: immediately (inline, no event) when the resource is free,
+// otherwise as a scheduled continuation when a Release hands it over.
+// Ownership is granted in request order.
+func (r *AsyncResource) Acquire(e *Engine, then func()) {
+	if !r.held {
+		r.held = true
+		r.acquiredAt = e.now
+		then()
+		return
+	}
+	r.q.Wait(then)
+}
+
+// Release hands the resource to the oldest waiter (whose continuation runs
+// as an event at the current cycle), or frees it. Only the holder's
+// continuation chain may call Release.
+func (r *AsyncResource) Release(e *Engine) {
+	if !r.held {
+		panic("sim: Release of a free AsyncResource")
+	}
+	r.BusyCycles += e.now - r.acquiredAt
+	if r.q.Len() == 0 {
+		r.held = false
+		return
+	}
+	// The next holder's grant event runs at this same cycle, so charging
+	// its hold time from now matches the blocking Resource, which set
+	// acquiredAt when the woken process resumed in the release cycle.
+	r.acquiredAt = e.now
+	r.q.WakeOne(e, 0)
+}
+
+// QueueLen returns the number of continuations waiting for the resource.
+func (r *AsyncResource) QueueLen() int { return r.q.Len() }
+
+// Held reports whether the resource is currently owned.
+func (r *AsyncResource) Held() bool { return r.held }

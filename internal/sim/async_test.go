@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestAsyncResourceMirrorsBlockingResource drives the same contention
+// scenario through the blocking Resource (processes) and the AsyncResource
+// (continuations) and asserts the grant/release trace is identical: same
+// holders, in the same order, at the same cycles. This is the equivalence
+// the continuation rewrite of the protocol models rests on.
+func TestAsyncResourceMirrorsBlockingResource(t *testing.T) {
+	// Each worker: arrive at its own offset, acquire, hold for a worker-
+	// specific time, release, and repeat. Offsets force every flavor of
+	// contention: free acquires, queued acquires, same-cycle handoffs.
+	const workers = 5
+	const rounds = 4
+	arrival := func(w, r int) Time { return Time(w*3 + r*17) }
+	holdFor := func(w, r int) Time { return Time(5 + (w+r)%7) }
+
+	blocking := func() []string {
+		var trace []string
+		e := NewEngine(1)
+		var res Resource
+		for w := 0; w < workers; w++ {
+			w := w
+			e.Go(fmt.Sprintf("w%d", w), func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					p.SleepUntil(arrival(w, r))
+					res.Acquire(p, "res")
+					trace = append(trace, fmt.Sprintf("grant w%d@%d", w, e.Now()))
+					p.Sleep(holdFor(w, r))
+					trace = append(trace, fmt.Sprintf("release w%d@%d", w, e.Now()))
+					res.Release(p)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append(trace, fmt.Sprintf("busy=%d", res.BusyCycles))
+	}()
+
+	async := func() []string {
+		var trace []string
+		e := NewEngine(1)
+		var res AsyncResource
+		for w := 0; w < workers; w++ {
+			w := w
+			r := 0
+			var step func()
+			step = func() {
+				res.Acquire(e, func() {
+					trace = append(trace, fmt.Sprintf("grant w%d@%d", w, e.Now()))
+					e.Schedule(holdFor(w, r), func() {
+						trace = append(trace, fmt.Sprintf("release w%d@%d", w, e.Now()))
+						res.Release(e)
+						if r++; r < rounds {
+							d := Time(0)
+							if at := arrival(w, r); at > e.Now() {
+								d = at - e.Now()
+							}
+							e.Schedule(d, step)
+						}
+					})
+				})
+			}
+			e.Schedule(arrival(w, 0), step)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append(trace, fmt.Sprintf("busy=%d", res.BusyCycles))
+	}()
+
+	if !reflect.DeepEqual(blocking, async) {
+		t.Errorf("grant traces diverge:\nblocking: %v\nasync:    %v", blocking, async)
+	}
+}
+
+// TestAsyncWaitQueueFIFO checks wake order and delays of the continuation
+// wait queue against the documented FIFO contract.
+func TestAsyncWaitQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var q AsyncWaitQueue
+	var got []string
+	note := func(tag string) func() {
+		return func() { got = append(got, fmt.Sprintf("%s@%d", tag, e.Now())) }
+	}
+	q.Wait(note("a"))
+	q.Wait(note("b"))
+	q.Wait(note("c"))
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	e.Schedule(10, func() {
+		if !q.WakeOne(e, 2) {
+			t.Error("WakeOne found no waiter")
+		}
+		q.WakeAll(e, 5)
+	})
+	e.Schedule(30, func() {
+		q.Wait(note("d")) // reuse after drain: backing array is recycled
+		q.WakeAll(e, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a@12", "b@15", "c@15", "d@30"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wake trace = %v, want %v", got, want)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain, want 0", q.Len())
+	}
+	if q.WakeOne(e, 0) {
+		t.Error("WakeOne on empty queue reported a wake")
+	}
+}
+
+// TestAsyncResourcePanicsOnFreeRelease pins the misuse check.
+func TestAsyncResourcePanicsOnFreeRelease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of a free AsyncResource did not panic")
+		}
+	}()
+	var res AsyncResource
+	res.Release(NewEngine(1))
+}

@@ -45,6 +45,31 @@
 // the exact dispatch the event queue would have performed next, so results
 // are bit-identical to a naive engine-centric loop.
 //
+// # Continuations
+//
+// Multi-step protocol transactions used to be the stronghold of the
+// process style: a directory transaction sleeps several times (request
+// flight, queueing, hold, reply), and under contention every one of those
+// sleeps is a forced process switch. Such models are instead written as
+// engine-scheduled continuation chains: each suspension schedules the next
+// step as a plain callback event, and the initiating process — which must
+// suspend anyway, because its thread is architecturally stalled — parks
+// once and is dispatched directly by the chain's final reply event.
+// AsyncWaitQueue and AsyncResource (async.go) are the continuation mirrors
+// of WaitQueue and Resource for blocking inside such chains, and
+// wireless.Network.SendAsync/SendParked are the channel's equivalents.
+//
+// The two styles compose bit-identically by construction, so a model can
+// be converted from blocking to continuation form without moving a single
+// simulated result: every blocking suspension consumes exactly one event
+// sequence number at the point it blocks (Sleep and Wake schedule one
+// dispatch; a free Acquire and a busy enqueue schedule none), and the
+// mirrors consume sequence numbers at the same execution points, so every
+// step of the converted model runs at exactly the same (time, priority,
+// sequence) position as the blocking original — only on the engine-driving
+// goroutine rather than its own. The golden-conformance suite in package
+// harness pins this equivalence end to end.
+//
 // # Determinism
 //
 // The engine owns all randomness through a seeded splitmix64 generator,

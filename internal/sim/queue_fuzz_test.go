@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refHeap is the straightforward container/heap implementation the typed
+// 4-ary queue replaced. It is the oracle: both queues must dispatch the
+// same events in the same (time, priority, sequence) order under any
+// interleaving of schedules and pops.
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return before(&h[i], &h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+// queueOracle drives the production queue and the reference heap through
+// the same operation stream and fails on the first divergence. Each byte of
+// ops is one operation: low bits pick push-vs-pop, the rest perturb the
+// timestamp and priority, reproducing the engine's real usage — monotone
+// base time, small forward offsets, occasional PrioLate, interleaved pops
+// (including pops that empty the queue, exercising slot zeroing).
+func queueOracle(t *testing.T, ops []byte) {
+	t.Helper()
+	var q eventQueue
+	ref := &refHeap{}
+	var seq uint64
+	var now Time // tracks the engine clock: pops advance it, pushes are >= now
+
+	for i, op := range ops {
+		if op&3 == 3 && q.len() > 0 {
+			got := q.pop()
+			want := heap.Pop(ref).(event)
+			if got.t != want.t || got.key != want.key {
+				t.Fatalf("op %d: pop order diverged: got (t=%d key=%#x), reference (t=%d key=%#x)",
+					i, got.t, got.key, want.t, want.key)
+			}
+			if got.t < now {
+				t.Fatalf("op %d: pop went back in time: %d < %d", i, got.t, now)
+			}
+			now = got.t
+			// The vacated tail slot must be zeroed, or the popped
+			// event's closure (and everything it captures) stays pinned
+			// by the backing array.
+			if n := len(q.ev); n < cap(q.ev) {
+				if tail := q.ev[:n+1][n]; tail.fn != nil || tail.p != nil {
+					t.Fatalf("op %d: popped slot %d not zeroed", i, n)
+				}
+			}
+			continue
+		}
+		seq++
+		ev := event{t: now + Time(op>>3), key: seq, fn: func() {}}
+		if op&4 != 0 {
+			ev.key |= prioBit
+		}
+		q.push(ev)
+		heap.Push(ref, ev)
+	}
+	// Drain both completely: the tail of the stream must agree too.
+	for q.len() > 0 {
+		got := q.pop()
+		want := heap.Pop(ref).(event)
+		if got.t != want.t || got.key != want.key {
+			t.Fatalf("drain: pop order diverged: got (t=%d key=%#x), reference (t=%d key=%#x)",
+				got.t, got.key, want.t, want.key)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("drain: production queue empty, reference still holds %d events", ref.Len())
+	}
+}
+
+// FuzzEventQueueMatchesReferenceHeap fuzzes the 4-ary heap against
+// container/heap. The seed corpus covers the interesting shapes: pure
+// FIFO, same-cycle bursts with mixed priorities, push/pop churn, and
+// repeated emptying.
+func FuzzEventQueueMatchesReferenceHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 3, 3, 3})                // same-slot burst, drain
+	f.Add([]byte{8, 16, 24, 3, 32, 3, 3, 3})       // monotone pushes with pops
+	f.Add([]byte{4, 0, 4, 0, 3, 3, 4, 3, 3})       // PrioLate vs PrioNormal ties
+	f.Add([]byte{255, 7, 3, 255, 7, 3, 255, 7, 3}) // far/near alternation, churn
+	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3})          // empty-refill cycles
+	f.Fuzz(queueOracle)
+}
+
+// TestEventQueueRandomOracle runs the same oracle over long seeded random
+// streams, so heavy randomized coverage happens on every plain `go test`
+// run, not only under `go test -fuzz`.
+func TestEventQueueRandomOracle(t *testing.T) {
+	rng := NewRand(20260728)
+	for trial := 0; trial < 50; trial++ {
+		n := 64 + rng.Intn(512)
+		ops := make([]byte, n)
+		for i := range ops {
+			ops[i] = byte(rng.Intn(256))
+		}
+		queueOracle(t, ops)
+	}
+}

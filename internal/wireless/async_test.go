@@ -1,0 +1,95 @@
+package wireless
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wisync/internal/sim"
+)
+
+// TestSendAsyncMirrorsSend drives the same transmission scenario through
+// the blocking Send (one process per message) and through SendAsync
+// (continuation chains, no processes) and asserts the completions are
+// identical: same nodes, same commit/withdraw outcomes, same cycles, in
+// the same order, with the same channel statistics. The scenario covers
+// every completion path: clean commits, a same-slot collision with
+// backoff, FIFO deferral behind a busy channel, a grant-abandoned message
+// (prepare hook), and a transfer withdrawn while deferred.
+func TestSendAsyncMirrorsSend(t *testing.T) {
+	type done struct {
+		Node      int
+		At        sim.Time
+		Committed bool
+	}
+	const nodes = 8
+	sends := []struct {
+		node  int
+		start sim.Time
+	}{{0, 0}, {1, 0}, {2, 3}, {3, 5}, {4, 5}, {5, 6}, {6, 6}, {7, 40}}
+
+	run := func(async bool) ([]done, Stats) {
+		eng := sim.NewEngine(7)
+		n := New(eng, nodes, Params{})
+		// Node 3's message is stale at grant time and must be abandoned.
+		n.SetPrepare(func(m Msg) bool { return m.Val != 99 })
+		var results []done
+		var cancelTok Token
+		for _, sd := range sends {
+			sd := sd
+			msg := Msg{Src: sd.node, Addr: uint32(sd.node), Val: uint64(sd.node)}
+			if sd.node == 3 {
+				msg.Val = 99
+			}
+			var tok *Token
+			if sd.node == 5 {
+				tok = &cancelTok
+			}
+			if async {
+				eng.ScheduleAt(sd.start, sim.PrioNormal, func() {
+					n.SendAsync(msg, tok, func(committed bool) {
+						results = append(results, done{sd.node, eng.Now(), committed})
+					})
+				})
+			} else {
+				eng.Go(fmt.Sprintf("n%d", sd.node), func(p *sim.Proc) {
+					p.SleepUntil(sd.start)
+					ok := n.Send(p, msg, tok)
+					results = append(results, done{sd.node, eng.Now(), ok})
+				})
+			}
+		}
+		// Withdraw node 5's transfer while it is still deferred behind the
+		// busy channel.
+		eng.ScheduleAt(8, sim.PrioNormal, func() { cancelTok.Cancel() })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return results, n.Stats
+	}
+
+	blocking, blockingStats := run(false)
+	async, asyncStats := run(true)
+	if !reflect.DeepEqual(blocking, async) {
+		t.Errorf("completions diverge:\nblocking: %+v\nasync:    %+v", blocking, async)
+	}
+	if blockingStats != asyncStats {
+		t.Errorf("stats diverge:\nblocking: %+v\nasync:    %+v", blockingStats, asyncStats)
+	}
+	// The scenario must genuinely exercise the non-commit completions.
+	if asyncStats.Withdrawn == 0 {
+		t.Error("scenario exercised no withdrawal; move the Cancel earlier")
+	}
+	if asyncStats.SkippedGrants == 0 {
+		t.Error("scenario exercised no grant abandon; check the prepare hook")
+	}
+	var fails int
+	for _, d := range async {
+		if !d.Committed {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("%d non-committed completions, want 2 (abandon + withdrawal)", fails)
+	}
+}

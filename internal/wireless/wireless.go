@@ -164,12 +164,29 @@ const (
 )
 
 type request struct {
+	n *Network
+	// Exactly one of p and done is set: p is a blocking sender parked in
+	// Send (or SendParked), done the completion callback of a SendAsync.
 	p         *sim.Proc
+	done      func()
 	msg       Msg
 	start     sim.Time
 	state     reqState
 	committed bool
 	attempts  int // collisions suffered by this message
+}
+
+// resume returns control to the sender at the current cycle: a parked
+// blocking sender is dispatched directly (an allocation-free process
+// event), a continuation sender's completion callback is scheduled. Both
+// land at the same (time, priority, sequence) position, so the two sender
+// styles are interchangeable without affecting simulated results.
+func (r *request) resume() {
+	if r.p != nil {
+		r.p.Wake(0)
+		return
+	}
+	r.n.eng.Schedule(0, r.done)
 }
 
 // Token allows the owner of an in-flight Send to withdraw it (used when a
@@ -187,7 +204,7 @@ func (t *Token) Cancel() bool {
 		return false
 	}
 	r.state = reqCanceled
-	r.p.Wake(0)
+	r.resume()
 	return true
 }
 
@@ -286,10 +303,8 @@ func (n *Network) QueueLen() int { return len(n.waitq) }
 // or the transfer is withdrawn through tok (which may be nil). It reports
 // whether the message committed.
 func (n *Network) Send(p *sim.Proc, msg Msg, tok *Token) bool {
-	if msg.Src < 0 || msg.Src >= n.nodes {
-		panic(fmt.Sprintf("wireless: bad source node %d", msg.Src))
-	}
-	req := &request{p: p, msg: msg, start: n.eng.Now()}
+	req := n.newRequest(msg)
+	req.p = p
 	if tok != nil {
 		tok.req = req
 	}
@@ -300,6 +315,49 @@ func (n *Network) Send(p *sim.Proc, msg Msg, tok *Token) bool {
 		return false
 	}
 	return req.committed
+}
+
+// SendAsync transmits msg without a sending process: then runs as an
+// engine event at the cycle the message commits at all receivers
+// (committed=true) or is withdrawn through tok / abandoned at grant
+// (committed=false). It is the continuation mirror of Send — then fires at
+// exactly the (time, priority, sequence) position where Send's parked
+// process would have been dispatched — for protocol models that run as
+// engine-scheduled continuation chains.
+func (n *Network) SendAsync(msg Msg, tok *Token, then func(committed bool)) {
+	req := n.newRequest(msg)
+	if tok != nil {
+		tok.req = req
+	}
+	req.done = func() {
+		if req.state == reqCanceled {
+			n.Stats.Withdrawn++
+			then(false)
+			return
+		}
+		then(req.committed)
+	}
+	n.submit(req)
+}
+
+// SendParked transmits msg on behalf of p, which the caller must park in
+// the same event (before any other event can run). Continuation chains
+// that end in a transmission use it so the commit dispatches the sender
+// directly — the same allocation-free completion as a blocking Send, with
+// the submission itself deferred into the chain. The transfer cannot be
+// withdrawn (no Token), so p always resumes at the commit (or
+// grant-abandon) cycle.
+func (n *Network) SendParked(p *sim.Proc, msg Msg) {
+	req := n.newRequest(msg)
+	req.p = p
+	n.submit(req)
+}
+
+func (n *Network) newRequest(msg Msg) *request {
+	if msg.Src < 0 || msg.Src >= n.nodes {
+		panic(fmt.Sprintf("wireless: bad source node %d", msg.Src))
+	}
+	return &request{n: n, msg: msg, start: n.eng.Now()}
 }
 
 // submit routes a (re)transmission attempt: straight into the current slot
@@ -400,7 +458,7 @@ func (n *Network) transmit(req *request, slot sim.Time) {
 		req.state = reqDone
 		req.committed = false
 		n.Stats.SkippedGrants++
-		req.p.Wake(0)
+		req.resume()
 		n.releaseHead()
 		return
 	}
@@ -460,5 +518,5 @@ func (n *Network) commit(req *request) {
 	for _, fn := range n.subs {
 		fn(req.msg, n.eng.Now())
 	}
-	req.p.Wake(0)
+	req.resume()
 }
