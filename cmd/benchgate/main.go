@@ -1,0 +1,165 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// Go benchmark output files (the checked-in bench_baseline.txt against a
+// fresh run) and fails when the geometric mean of the per-benchmark
+// time/op ratios exceeds a threshold.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.txt -new bench_new.txt [-max 1.15]
+//
+// Each file is standard `go test -bench` output, ideally with -count=5 or
+// more; benchgate takes the median time/op per benchmark name (medians
+// shrug off the one-off scheduling hiccups that plague CI runners, where
+// benchstat's mean-based deltas would flap) and reports every ratio plus
+// the geomean. Benchmarks present in only one file are reported but do
+// not gate, so adding or removing a benchmark never requires touching the
+// baseline in the same change.
+//
+// The companion benchstat comparison in CI is informational; this tool is
+// the pass/fail decision. To refresh the baseline after an intended
+// performance change (or a runner-hardware change), download the
+// bench_new.txt artifact from a trusted run on main and commit it as
+// bench_baseline.txt — see the README's "Benchmark regression gate"
+// section.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench_baseline.txt", "baseline benchmark output")
+	fresh := flag.String("new", "bench_new.txt", "freshly produced benchmark output")
+	max := flag.Float64("max", 1.15, "maximum allowed new/old geomean time ratio")
+	flag.Parse()
+
+	old, err := parseFile(*baseline)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := parseFile(*fresh)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report, geomean, ok := gate(old, cur, *max)
+	fmt.Print(report)
+	if !ok {
+		fatalf("geomean time ratio %.3f exceeds limit %.2f", geomean, *max)
+	}
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// parseBench extracts ns/op samples per benchmark name from `go test
+// -bench` output. The trailing -N GOMAXPROCS suffix is stripped so runs
+// from machines with different core counts stay comparable.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: name, iterations, value, unit, [more
+		// value/unit pairs]. Find the ns/op pair.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// gate renders the comparison table and decides pass/fail: the geometric
+// mean of new/old median ratios over benchmarks present in both files
+// must not exceed max.
+func gate(old, cur map[string][]float64, max float64) (report string, geomean float64, ok bool) {
+	var names []string
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	var logSum float64
+	var compared int
+	fmt.Fprintf(&b, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o := median(old[name])
+		samples, present := cur[name]
+		if !present {
+			fmt.Fprintf(&b, "%-50s %14.0f %14s %8s\n", name, o, "missing", "-")
+			continue
+		}
+		n := median(samples)
+		ratio := n / o
+		logSum += math.Log(ratio)
+		compared++
+		fmt.Fprintf(&b, "%-50s %14.0f %14.0f %8.3f\n", name, o, n, ratio)
+	}
+	var added []string
+	for name := range cur {
+		if _, present := old[name]; !present {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(&b, "%-50s %14s %14.0f %8s  (not in baseline)\n", name, "-", median(cur[name]), "-")
+	}
+	if compared == 0 {
+		fmt.Fprintf(&b, "no common benchmarks: nothing to gate\n")
+		return b.String(), 1, true
+	}
+	geomean = math.Exp(logSum / float64(compared))
+	verdict := "within"
+	if geomean > max {
+		verdict = "EXCEEDS"
+	}
+	fmt.Fprintf(&b, "geomean ratio over %d benchmarks: %.3f (%s limit %.2f)\n",
+		compared, geomean, verdict, max)
+	return b.String(), geomean, geomean <= max
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

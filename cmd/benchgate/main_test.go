@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldRun = `goos: linux
+goarch: amd64
+pkg: wisync
+BenchmarkFig7TightLoop-8     	       5	 200000000 ns/op	         2.250 baseline/wisync@128c
+BenchmarkFig7TightLoop-8     	       5	 210000000 ns/op	         2.250 baseline/wisync@128c
+BenchmarkFig7TightLoop-8     	       5	 190000000 ns/op	         2.250 baseline/wisync@128c
+BenchmarkScheduleDrain-8     	25000000	        48.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleDrain-8     	25000000	        47.90 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleDrain-8     	25000000	        48.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTxnContended/mem-8  	    1000	   1500000 ns/op	    102692 cyc
+BenchmarkTxnContended/mem-8  	    1000	   1550000 ns/op	    102692 cyc
+BenchmarkRemoved-8           	    1000	   1000000 ns/op
+PASS
+`
+
+func newRun(tightloop, drain, mem string) string {
+	return `pkg: wisync
+BenchmarkFig7TightLoop-4     	       5	 ` + tightloop + ` ns/op
+BenchmarkScheduleDrain-4     	25000000	        ` + drain + ` ns/op
+BenchmarkTxnContended/mem-4  	    1000	   ` + mem + ` ns/op
+BenchmarkAdded-4             	    1000	   9999999 ns/op
+PASS
+`
+}
+
+func parseStr(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parseStr(t, oldRun)
+	if len(m["BenchmarkFig7TightLoop"]) != 3 {
+		t.Errorf("tightloop samples = %v", m["BenchmarkFig7TightLoop"])
+	}
+	if len(m["BenchmarkTxnContended/mem"]) != 2 {
+		t.Errorf("sub-benchmark samples = %v", m["BenchmarkTxnContended/mem"])
+	}
+	// The GOMAXPROCS suffix is stripped, non-benchmark lines skipped.
+	if _, ok := m["BenchmarkScheduleDrain-8"]; ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+	if got := median(m["BenchmarkScheduleDrain"]); got != 48.0 {
+		t.Errorf("median = %v, want 48", got)
+	}
+}
+
+func TestGatePassesWhenFlat(t *testing.T) {
+	old := parseStr(t, oldRun)
+	cur := parseStr(t, newRun("201000000", "48.20", "1520000"))
+	report, geomean, ok := gate(old, cur, 1.15)
+	if !ok {
+		t.Fatalf("flat run failed the gate: %v\n%s", geomean, report)
+	}
+	if geomean < 0.95 || geomean > 1.05 {
+		t.Errorf("geomean = %v, want ~1.0", geomean)
+	}
+	// Disjoint benchmarks are reported but don't gate.
+	if !strings.Contains(report, "BenchmarkRemoved") || !strings.Contains(report, "BenchmarkAdded") {
+		t.Errorf("report does not mention disjoint benchmarks:\n%s", report)
+	}
+}
+
+func TestGateFailsOnGeomeanRegression(t *testing.T) {
+	old := parseStr(t, oldRun)
+	// Every benchmark 30% slower: geomean 1.3 > 1.15.
+	cur := parseStr(t, newRun("260000000", "62.40", "1976500"))
+	report, geomean, ok := gate(old, cur, 1.15)
+	if ok {
+		t.Fatalf("30%% regression passed the gate: %v\n%s", geomean, report)
+	}
+	if geomean < 1.25 || geomean > 1.35 {
+		t.Errorf("geomean = %v, want ~1.3", geomean)
+	}
+}
+
+func TestGateToleratesSingleOutlier(t *testing.T) {
+	old := parseStr(t, oldRun)
+	// One benchmark 30% slower, the others flat: geomean ~1.09 stays
+	// under the 15% limit — a single noisy benchmark doesn't block CI,
+	// a broad slowdown does.
+	cur := parseStr(t, newRun("260000000", "48.00", "1525000"))
+	if report, geomean, ok := gate(old, cur, 1.15); !ok {
+		t.Fatalf("single outlier failed the gate: %v\n%s", geomean, report)
+	}
+}
+
+func TestGateNoCommonBenchmarks(t *testing.T) {
+	old := parseStr(t, "BenchmarkOnlyOld-2 1 5 ns/op\n")
+	cur := parseStr(t, "BenchmarkOnlyNew-2 1 5 ns/op\n")
+	if _, _, ok := gate(old, cur, 1.15); !ok {
+		t.Error("empty intersection must not fail the gate")
+	}
+}

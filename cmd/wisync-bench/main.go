@@ -1,9 +1,9 @@
 // Command wisync-bench regenerates the tables and figures of the paper's
-// evaluation (Section 7).
+// evaluation (Section 7), plus the MAC-protocol comparison sweep.
 //
 // Usage:
 //
-//	wisync-bench [-quick] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]
+//	wisync-bench [-quick] [-mac backoff|token|adaptive] [table4|fig7|fig8|fig9|fig10|table5|fig11|macs|all]
 //
 // Each subcommand prints the same rows or series the paper reports. Shapes
 // (who wins, by roughly what factor, where crossovers fall) reproduce the
@@ -11,52 +11,96 @@
 // the authors' Multi2Sim testbed. -quick shrinks the sweeps; -workers sets
 // how many sweep points simulate concurrently (every sweep point is an
 // independent seeded simulation, so the output is identical at any worker
-// count).
+// count); -mac swaps the wireless channel's arbitration protocol for every
+// figure ("macs" compares all three side by side); -list enumerates the
+// available subcommands and MAC protocols.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wisync/internal/harness"
+	"wisync/internal/wireless"
 )
+
+var commands = []struct {
+	name string
+	run  func(harness.Options)
+}{
+	{"table4", func(o harness.Options) { harness.Table4(o) }},
+	{"fig7", func(o harness.Options) { harness.Fig7(o) }},
+	{"fig8", func(o harness.Options) { harness.Fig8(o) }},
+	{"fig9", func(o harness.Options) { harness.Fig9(o) }},
+	{"fig10", func(o harness.Options) { harness.Fig10(o) }},
+	{"table5", func(o harness.Options) { harness.Table5(o, nil) }},
+	{"fig11", func(o harness.Options) { harness.Fig11(o) }},
+	{"macs", func(o harness.Options) { harness.MACSweep(o) }},
+	{"all", harness.All},
+}
+
+func commandNames() []string {
+	names := make([]string, len(commands))
+	for i, c := range commands {
+		names[i] = c.name
+	}
+	return names
+}
+
+func macNames() []string {
+	names := make([]string, len(wireless.MACKinds))
+	for i, k := range wireless.MACKinds {
+		names[i] = k.String()
+	}
+	return names
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
+	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+strings.Join(macNames(), "|"))
+	list := flag.Bool("list", false, "list available subcommands and MAC protocols, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [table4|fig7|fig8|fig9|fig10|table5|fig11|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-mac p] [-list] [%s]\n",
+			strings.Join(commandNames(), "|"))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *list {
+		fmt.Printf("subcommands: %s\n", strings.Join(commandNames(), " "))
+		fmt.Printf("macs: %s\n", strings.Join(macNames(), " "))
+		return
+	}
+	mac, ok := wireless.ParseMACKind(*macName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wisync-bench: unknown MAC %q (one of: %s)\n", *macName, strings.Join(macNames(), ", "))
+		os.Exit(2)
+	}
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	o := harness.Options{Quick: *quick, Workers: *workers, Out: os.Stdout}
-	start := time.Now()
-	switch what {
-	case "table4":
-		harness.Table4(o)
-	case "fig7":
-		harness.Fig7(o)
-	case "fig8":
-		harness.Fig8(o)
-	case "fig9":
-		harness.Fig9(o)
-	case "fig10":
-		harness.Fig10(o)
-	case "table5":
-		harness.Table5(o, nil)
-	case "fig11":
-		harness.Fig11(o)
-	case "all":
-		harness.All(o)
-	default:
-		flag.Usage()
-		os.Exit(2)
+	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac, Out: os.Stdout}
+	for _, c := range commands {
+		if c.name != what {
+			continue
+		}
+		// Self-describing sweep output: lead with the effective
+		// configuration. The macs subcommand compares every protocol and
+		// ignores -mac, so its header must not claim one.
+		macDesc := mac.String()
+		if what == "macs" {
+			macDesc = "all-compared"
+		}
+		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d mac=%s seed=1\n", what, *quick, *workers, macDesc)
+		start := time.Now()
+		c.run(o)
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	flag.Usage()
+	os.Exit(2)
 }

@@ -11,7 +11,12 @@
 //
 // Workloads: tightloop, liv2, liv3, liv6, fifo, lifo, add, app:<name>.
 // Configs: Baseline, Baseline+, WiSyncNoT, WiSync. Variants: Default,
-// SlowNet, SlowNet+L2, FastNet, SlowBMEM.
+// SlowNet, SlowNet+L2, FastNet, SlowBMEM. MACs: backoff, token, adaptive
+// (-mac swaps the wireless channel's arbitration protocol). -list
+// enumerates everything runnable and exits.
+//
+// The first output line is a "# wisync-sim ..." header echoing the
+// effective configuration, so saved sweep outputs are self-describing.
 //
 // -cores accepts a comma-separated list; the points of such a sweep are
 // independent seeded simulations, so they are dispatched across -workers
@@ -31,7 +36,19 @@ import (
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
 	"wisync/internal/sim"
+	"wisync/internal/wireless"
 )
+
+// workloadNames are the non-app workloads, in help order.
+var workloadNames = []string{"tightloop", "liv2", "liv3", "liv6", "fifo", "lifo", "add"}
+
+func macNames() string {
+	var names []string
+	for _, k := range wireless.MACKinds {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, "|")
+}
 
 func main() {
 	cfgName := flag.String("config", "WiSync", "machine kind: Baseline, Baseline+, WiSyncNoT, WiSync")
@@ -44,8 +61,14 @@ func main() {
 	variant := flag.String("variant", "Default", "Table 6 variant")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points for a -cores list (0 = GOMAXPROCS, 1 = sequential)")
+	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+macNames())
+	list := flag.Bool("list", false, "list available workloads, configs, variants and MACs, then exit")
 	flag.Parse()
 
+	if *list {
+		printList()
+		return
+	}
 	kind, ok := parseKind(*cfgName)
 	if !ok {
 		fatalf("unknown config %q", *cfgName)
@@ -53,6 +76,10 @@ func main() {
 	v, ok := parseVariant(*variant)
 	if !ok {
 		fatalf("unknown variant %q", *variant)
+	}
+	mac, ok := wireless.ParseMACKind(*macName)
+	if !ok {
+		fatalf("unknown MAC %q (one of: %s)", *macName, macNames())
 	}
 	coreList, err := parseCores(*cores)
 	if err != nil {
@@ -70,22 +97,46 @@ func main() {
 			fatalf("unknown application %q (see internal/apps/profiles.go)", name)
 		}
 		appProfile = p
-	case *workload == "tightloop", *workload == "liv2", *workload == "liv3",
-		*workload == "liv6", *workload == "fifo", *workload == "lifo", *workload == "add":
+	case knownWorkload(*workload):
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
 
+	// Self-describing output: echo the effective configuration first.
+	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d mac=%v workload=%s\n",
+		kind, *cores, v, *seed, *workers, mac, *workload)
 	// Each sweep point renders into its own buffer; buffers are printed in
 	// list order so the output does not depend on the worker count.
 	outputs := make([]strings.Builder, len(coreList))
 	harness.ForEach(*workers, len(coreList), func(i int) {
-		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed)
+		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac)
 		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
 	})
 	for i := range outputs {
 		fmt.Print(outputs[i].String())
 	}
+}
+
+// printList enumerates everything the -config/-variant/-workload/-mac
+// flags accept.
+func printList() {
+	fmt.Printf("workloads: %s app:<name>\n", strings.Join(workloadNames, " "))
+	var names []string
+	for _, p := range apps.Profiles() {
+		names = append(names, p.Name)
+	}
+	fmt.Printf("apps: %s\n", strings.Join(names, " "))
+	var kinds []string
+	for _, k := range config.Kinds {
+		kinds = append(kinds, k.String())
+	}
+	fmt.Printf("configs: %s\n", strings.Join(kinds, " "))
+	var variants []string
+	for _, v := range config.Variants {
+		variants = append(variants, v.String())
+	}
+	fmt.Printf("variants: %s\n", strings.Join(variants, " "))
+	fmt.Printf("macs: %s\n", strings.ReplaceAll(macNames(), "|", " "))
 }
 
 func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile apps.Profile, n, iters, cs int, duration uint64) {
@@ -112,6 +163,15 @@ func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile
 		r := apps.Run(cfg, appProfile)
 		fmt.Fprintln(out, r)
 	}
+}
+
+func knownWorkload(s string) bool {
+	for _, w := range workloadNames {
+		if s == w {
+			return true
+		}
+	}
+	return false
 }
 
 func parseCores(s string) ([]int, error) {

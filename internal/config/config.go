@@ -154,6 +154,14 @@ func (c Config) WithSeed(seed uint64) Config {
 	return c
 }
 
+// WithMAC returns the configuration with a different Data-channel
+// arbitration protocol (the paper's carrier-sense backoff is the default;
+// token passing and the traffic-adaptive switcher are the alternatives).
+func (c Config) WithMAC(k wireless.MACKind) Config {
+	c.Wireless.MAC = k
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Cores < 1 || c.Cores > 256 {

@@ -26,6 +26,7 @@ import (
 	"wisync/internal/rfmodel"
 	"wisync/internal/sim"
 	"wisync/internal/stats"
+	"wisync/internal/wireless"
 )
 
 // Options controls sweep sizes, parallelism and output.
@@ -38,8 +39,19 @@ type Options struct {
 	// returned rows are bit-identical at every worker count. 0 (the
 	// default) uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
 	Workers int
+	// MAC selects the wireless Data channel's arbitration protocol for
+	// every sweep point (zero value: the paper's carrier-sense backoff).
+	// It has no effect on wired configurations. MACSweep ignores it — it
+	// compares all protocols.
+	MAC wireless.MACKind
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+}
+
+// Config builds one sweep point's machine configuration with the
+// option-level overrides (MAC protocol) applied.
+func (o Options) Config(kind config.Kind, cores int) config.Config {
+	return config.New(kind, cores).WithMAC(o.MAC)
 }
 
 func (o Options) out() io.Writer {
@@ -140,7 +152,7 @@ func Fig7(o Options) []Fig7Row {
 	}
 	o.forEach(len(rows), func(i int) {
 		r := &rows[i]
-		r.CyclesPerIter = kernels.TightLoop(config.New(r.Kind, r.Cores), iters).CyclesPerIteration()
+		r.CyclesPerIter = kernels.TightLoop(o.Config(r.Kind, r.Cores), iters).CyclesPerIteration()
 	})
 	tb := stats.NewTable("Figure 7: TightLoop execution time (cycles/iteration)",
 		"cores", "Baseline", "Baseline+", "WiSyncNoT", "WiSync")
@@ -197,7 +209,7 @@ func Fig8(o Options) []Fig8Row {
 	}
 	o.forEach(len(rows), func(i int) {
 		r := &rows[i]
-		cfg := config.New(r.Kind, r.Cores)
+		cfg := o.Config(r.Kind, r.Cores)
 		var res kernels.Result
 		switch r.Loop {
 		case 2:
@@ -266,7 +278,7 @@ func Fig9(o Options) []Fig9Row {
 	}
 	o.forEach(len(rows), func(i int) {
 		r := &rows[i]
-		r.Per1000 = kernels.CASKernel(config.New(r.Kind, r.Cores), r.Kernel, r.CSInstr, duration).Per1000
+		r.Per1000 = kernels.CASKernel(o.Config(r.Kind, r.Cores), r.Kernel, r.CSInstr, duration).Per1000
 	})
 	i := 0
 	for _, cores := range coreCounts {
@@ -305,7 +317,7 @@ var appKinds = [4]config.Kind{config.Baseline, config.BaselinePlus, config.WiSyn
 // SPLASH-2 suites at 64 cores) and collects the Table 5 utilizations from
 // the same runs.
 func Fig10(o Options) []AppRow {
-	base := config.New(config.Baseline, 64)
+	base := o.Config(config.Baseline, 64)
 	profiles := apps.Profiles()
 	if o.Quick {
 		profiles = profiles[:0:0]
@@ -409,7 +421,7 @@ func Fig11(o Options) []Fig11Row {
 	o.forEach(len(results), func(i int) {
 		v := config.Variants[i/(len(profiles)*nk)]
 		p := profiles[i/nk%len(profiles)]
-		cfg := config.New(config.Baseline, 64).WithVariant(v)
+		cfg := o.Config(config.Baseline, 64).WithVariant(v)
 		cfg.Kind = appKinds[i%nk]
 		results[i] = apps.Run(cfg, p)
 	})

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"wisync/internal/config"
+	"wisync/internal/kernels"
+	"wisync/internal/sim"
+	"wisync/internal/stats"
+	"wisync/internal/wireless"
+)
+
+// MACRow is one (kernel, core count, protocol) point of the MAC
+// comparison sweep.
+type MACRow struct {
+	Kernel string
+	Cores  int
+	MAC    wireless.MACKind
+	// CyclesPerIter is the tightloop metric, Per1000 the cas-fifo one;
+	// the other is zero.
+	CyclesPerIter float64
+	Per1000       float64
+	Util          float64 // Data-channel utilization
+	Net           wireless.Stats
+	MACStats      wireless.MACStats
+}
+
+// macSweepKernels and macSweepMACs define the comparison grid.
+var macSweepKernels = []string{"tightloop", "cas-fifo"}
+
+// MACSweep compares the Data channel's arbitration protocols — the
+// paper's carrier-sense backoff, collision-free token passing, and the
+// traffic-adaptive switcher — on the two most channel-intensive kernels.
+// It runs on WiSyncNoT, where every synchronization operation crosses the
+// Data channel (the full design diverts barriers to the Tone channel and
+// would mask the MAC): tightloop generates synchronized barrier storms
+// (simultaneous arrivals, the random-access worst case), cas-fifo
+// generates sustained RMW pressure with jittered arrivals. Reported
+// counters show *why* a protocol wins: collision losses for backoff,
+// token-rotation waits for token, mode switches for adaptive.
+func MACSweep(o Options) []MACRow {
+	coreCounts := []int{16, 64, 256}
+	iters := 12
+	duration := sim.Time(60000)
+	if o.Quick {
+		coreCounts = []int{16, 64}
+		iters = 6
+		duration = 20000
+	}
+	var rows []MACRow
+	for _, kernel := range macSweepKernels {
+		for _, cores := range coreCounts {
+			for _, mac := range wireless.MACKinds {
+				rows = append(rows, MACRow{Kernel: kernel, Cores: cores, MAC: mac})
+			}
+		}
+	}
+	o.forEach(len(rows), func(i int) {
+		r := &rows[i]
+		cfg := config.New(config.WiSyncNoT, r.Cores).WithMAC(r.MAC)
+		switch r.Kernel {
+		case "tightloop":
+			res := kernels.TightLoop(cfg, iters)
+			r.CyclesPerIter = res.CyclesPerIteration()
+			r.Util = res.DataChannelUtil
+			r.Net = res.Net
+			r.MACStats = res.MAC
+		case "cas-fifo":
+			res := kernels.CASKernel(cfg, kernels.FIFO, 128, duration)
+			r.Per1000 = res.Per1000
+			r.Util = res.Net.Utilization(duration)
+			r.Net = res.Net
+			r.MACStats = res.MAC
+		}
+	})
+	i := 0
+	for _, kernel := range macSweepKernels {
+		metric := "cyc/iter"
+		if kernel == "cas-fifo" {
+			metric = "cas/1000cyc"
+		}
+		tb := stats.NewTable(
+			fmt.Sprintf("MAC comparison: %s on WiSyncNoT (%s)", kernel, metric),
+			"cores", "mac", metric, "util %", "grants", "collisions", "token waits", "switches")
+		for range coreCounts {
+			for range wireless.MACKinds {
+				r := rows[i]
+				val := f0(r.CyclesPerIter)
+				if kernel == "cas-fifo" {
+					val = f2(r.Per1000)
+				}
+				tb.AddRow(r.Cores, r.MAC.String(), val, f2(100*r.Util),
+					r.MACStats.Grants, r.MACStats.Collisions,
+					r.MACStats.TokenWaitCycles, r.MACStats.ModeSwitches)
+				i++
+			}
+		}
+		fmt.Fprintln(o.out(), tb)
+	}
+	return rows
+}

@@ -48,9 +48,11 @@ type CASResult struct {
 	Failures  uint64
 	// Per1000 is the Figure 9 metric: successful CASes per 1000 cycles.
 	Per1000 float64
-	// Mem and Net expose the machine's protocol counters (see Result).
+	// Mem, Net and MAC expose the machine's protocol counters (see
+	// Result).
 	Mem mem.Stats
 	Net wireless.Stats
+	MAC wireless.MACStats
 }
 
 func (r CASResult) String() string {
@@ -142,6 +144,7 @@ func CASKernel(cfg config.Config, kind CASKind, csInstr int, duration sim.Time) 
 	}
 	if m.Net != nil {
 		r.Net = m.Net.Stats
+		r.MAC = m.Net.MACCounters()
 	}
 	return r
 }

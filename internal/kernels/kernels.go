@@ -34,6 +34,7 @@ func result(m *core.Machine, iters int) Result {
 	}
 	if m.Net != nil {
 		r.Net = m.Net.Stats
+		r.MAC = m.Net.MACCounters()
 	}
 	return r
 }
@@ -52,6 +53,11 @@ type Result struct {
 	// Net is zero on wired configurations.
 	Mem mem.Stats
 	Net wireless.Stats
+	// MAC holds the Data channel's per-protocol arbitration counters
+	// (grants, collisions, token waits, mode switches). It lives outside
+	// Net so the golden rendering of wireless.Stats is independent of the
+	// MAC catalog.
+	MAC wireless.MACStats
 }
 
 // CyclesPerIteration returns the average iteration time.

@@ -1,0 +1,228 @@
+package wireless
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/sim"
+)
+
+// adaptiveTestParams shrinks the decision window so the synthetic
+// schedules below cross switch boundaries quickly.
+func adaptiveTestParams() Params {
+	p := DefaultParams()
+	p.MAC = MACAdaptive
+	p.AdaptiveWindow = 16
+	p.AdaptiveCollisionRate = 0.1
+	return p
+}
+
+// TestAdaptiveMACSwitchesUnderBurstSchedule drives the switcher through a
+// synthetic two-phase schedule: synchronized 32-node bursts (collision
+// storms that a random-access MAC resolves expensively) followed by a
+// sparse single-sender phase (where token rotation is pure overhead). The
+// MAC must move to token during the storm, return to backoff in the sparse
+// phase, and not flap within either sustained regime (hysteresis).
+func TestAdaptiveMACSwitchesUnderBurstSchedule(t *testing.T) {
+	eng := sim.NewEngine(11)
+	const nodes = 32
+	const rounds = 8
+	const roundGap = sim.Time(400)
+	n := New(eng, nodes, adaptiveTestParams())
+	am := n.mac.(*adaptiveMAC)
+
+	// Record the active protocol at every commit.
+	var modes []MACKind
+	n.Subscribe(func(Msg, sim.Time) { modes = append(modes, am.Mode()) })
+
+	for c := 0; c < nodes; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("n%d", c), func(p *sim.Proc) {
+			// Phase 1: every node transmits at the same cycle each round.
+			for r := 0; r < rounds; r++ {
+				if start := sim.Time(r) * roundGap; start > p.Now() {
+					p.Sleep(start - p.Now())
+				}
+				n.Send(p, Msg{Src: c}, nil)
+			}
+			// Phase 2: only node 0 keeps sending, back to back.
+			if c == 0 {
+				if start := sim.Time(rounds) * roundGap; start > p.Now() {
+					p.Sleep(start - p.Now())
+				}
+				for i := 0; i < 48; i++ {
+					n.Send(p, Msg{Src: c}, nil)
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	mc := n.MACCounters()
+	if mc.Grants != nodes*rounds+48 {
+		t.Fatalf("Grants = %d, want %d", mc.Grants, nodes*rounds+48)
+	}
+	if mc.Collisions == 0 {
+		t.Error("no collisions recorded: the storm phase never exercised backoff")
+	}
+	if mc.TokenPasses == 0 {
+		t.Error("no token passes recorded: the MAC never entered token mode")
+	}
+	if mc.ModeSwitches < 2 {
+		t.Errorf("ModeSwitches = %d, want >= 2 (storm -> token, sparse -> backoff)", mc.ModeSwitches)
+	}
+	if mc.ModeSwitches > 6 {
+		t.Errorf("ModeSwitches = %d: protocol is flapping, hysteresis broken", mc.ModeSwitches)
+	}
+	sawToken := false
+	for _, m := range modes[:nodes*rounds] {
+		if m == MACToken {
+			sawToken = true
+			break
+		}
+	}
+	if !sawToken {
+		t.Error("token mode never active during the storm phase")
+	}
+	if final := modes[len(modes)-1]; final != MACBackoff {
+		t.Errorf("final mode = %v, want backoff after the sparse phase", final)
+	}
+	if am.Mode() != MACBackoff {
+		t.Errorf("resting mode = %v, want backoff", am.Mode())
+	}
+}
+
+// TestAdaptiveMACStaysInBackoffWhenUncontended: sparse traffic must never
+// trigger a switch — the collision rate stays at zero.
+func TestAdaptiveMACStaysInBackoffWhenUncontended(t *testing.T) {
+	eng := sim.NewEngine(2)
+	// Default thresholds: only a sustained collision rate (>25% over 32
+	// grants) justifies the token; coincidental same-slot arrivals from
+	// drifting periodic senders must not.
+	p := DefaultParams()
+	p.MAC = MACAdaptive
+	n := New(eng, 16, p)
+	for c := 0; c < 4; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("n%d", c), func(p *sim.Proc) {
+			// Staggered starts: sparse means no simultaneous arrivals.
+			p.Sleep(sim.Time(1 + 17*c))
+			for i := 0; i < 20; i++ {
+				n.Send(p, Msg{Src: c}, nil)
+				p.Sleep(sim.Time(50 + 13*c))
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mc := n.MACCounters()
+	if mc.ModeSwitches != 0 {
+		t.Errorf("ModeSwitches = %d under sparse traffic, want 0", mc.ModeSwitches)
+	}
+	if mc.TokenPasses != 0 {
+		t.Errorf("TokenPasses = %d, want 0 (never left backoff)", mc.TokenPasses)
+	}
+	if n.Stats.Messages != 80 {
+		t.Errorf("Messages = %d, want 80", n.Stats.Messages)
+	}
+}
+
+// TestAdaptiveMACDeliversEverythingAcrossSwitches hammers the switcher
+// with alternating storm and quiet phases and checks nothing is lost or
+// reordered per sender across backlog migrations.
+func TestAdaptiveMACDeliversEverythingAcrossSwitches(t *testing.T) {
+	eng := sim.NewEngine(17)
+	const nodes = 24
+	const phases = 6
+	n := New(eng, nodes, adaptiveTestParams())
+	perSender := make([][]uint64, nodes)
+	n.Subscribe(func(m Msg, _ sim.Time) {
+		perSender[m.Src] = append(perSender[m.Src], m.Val)
+	})
+	var sent int
+	for c := 0; c < nodes; c++ {
+		c := c
+		eng.Go(fmt.Sprintf("n%d", c), func(p *sim.Proc) {
+			seq := uint64(0)
+			for ph := 0; ph < phases; ph++ {
+				if start := sim.Time(ph) * 700; start > p.Now() {
+					p.Sleep(start - p.Now())
+				}
+				// Even phases: synchronized burst from everyone. Odd
+				// phases: only low nodes trickle.
+				msgs := 2
+				if ph%2 == 1 {
+					if c >= 4 {
+						continue
+					}
+					msgs = 6
+				}
+				for i := 0; i < msgs; i++ {
+					if !n.Send(p, Msg{Src: c, Val: seq}, nil) {
+						t.Errorf("node %d seq %d failed", c, seq)
+					}
+					seq++
+					sent++
+					if ph%2 == 1 {
+						p.Sleep(40)
+					}
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	for c, vals := range perSender {
+		for i, v := range vals {
+			if v != uint64(i) {
+				t.Fatalf("node %d commit order %v not FIFO across mode switches", c, vals)
+			}
+		}
+		delivered += len(vals)
+	}
+	if delivered != sent {
+		t.Errorf("delivered %d of %d messages", delivered, sent)
+	}
+}
+
+// TestAdaptiveMACDeterministicReplay: mode switches depend only on
+// simulated state, so a replay is bit-identical.
+func TestAdaptiveMACDeterministicReplay(t *testing.T) {
+	runOnce := func() ([]int, MACStats) {
+		eng := sim.NewEngine(123)
+		n := New(eng, 16, adaptiveTestParams())
+		var order []int
+		n.Subscribe(func(m Msg, _ sim.Time) { order = append(order, m.Src) })
+		for c := 0; c < 16; c++ {
+			c := c
+			eng.Go(fmt.Sprintf("n%d", c), func(p *sim.Proc) {
+				for i := 0; i < 8; i++ {
+					n.Send(p, Msg{Src: c}, nil)
+					p.Sleep(sim.Time(p.Engine().Rand().Intn(7)))
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order, n.MACCounters()
+	}
+	a, sa := runOnce()
+	b, sb := runOnce()
+	if sa != sb {
+		t.Fatalf("MAC counters differ across replays: %+v vs %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("adaptive commit order not deterministic")
+		}
+	}
+}

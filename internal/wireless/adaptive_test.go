@@ -34,8 +34,8 @@ func TestAdaptiveBackoffSharedEstimate(t *testing.T) {
 		t.Errorf("Messages = %d, want 96", n.Stats.Messages)
 	}
 	// After the storm drains with successes, the shared estimate decays.
-	if n.sharedExp > p.MaxBackoffExp {
-		t.Errorf("sharedExp = %d beyond cap %d", n.sharedExp, p.MaxBackoffExp)
+	if exp := n.mac.(*backoffMAC).sharedExp; exp > p.MaxBackoffExp {
+		t.Errorf("sharedExp = %d beyond cap %d", exp, p.MaxBackoffExp)
 	}
 }
 

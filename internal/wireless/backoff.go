@@ -1,0 +1,223 @@
+package wireless
+
+import (
+	"sort"
+
+	"wisync/internal/sim"
+)
+
+// backoffMAC is the paper's arbitration scheme (Section 5.3) and the
+// default MAC: carrier sensing with busy deferral (per Params.Defer),
+// slot-level collision detection, and exponential backoff (per
+// Params.Backoff) on collision. The code is the pre-refactor Network
+// arbitration moved behind the MAC interface unchanged — the golden
+// conformance suite and the pre-refactor trace tests pin it bit-for-bit.
+type backoffMAC struct {
+	n *Network
+	// slots maps a future cycle to the requests contending in it;
+	// scheduled marks slots whose arbitration event already exists.
+	slots     map[sim.Time][]*request
+	scheduled map[sim.Time]bool
+	// waitq holds busy-deferred senders under DeferFIFO.
+	waitq   []*request
+	backoff []int // per-node persistent exponent (BackoffPersistent)
+	// sharedExp is the chip-wide contention exponent for
+	// BackoffAdaptive: every node observes the same channel, so the
+	// estimate is global (Section 5.3).
+	sharedExp int
+	stats     MACStats
+}
+
+func newBackoffMAC(n *Network) *backoffMAC {
+	return &backoffMAC{
+		n:         n,
+		slots:     make(map[sim.Time][]*request),
+		scheduled: make(map[sim.Time]bool),
+		backoff:   make([]int, n.nodes),
+	}
+}
+
+func (m *backoffMAC) Kind() MACKind { return MACBackoff }
+
+// Submit routes a (re)transmission attempt: straight into the current slot
+// when the channel is free, otherwise per the deferral policy.
+func (m *backoffMAC) Submit(req *request) {
+	n := m.n
+	now := n.eng.Now()
+	if n.busyUntil <= now {
+		m.enqueue(req, now)
+		return
+	}
+	if n.p.Defer == DeferFIFO {
+		m.waitq = append(m.waitq, req)
+		return
+	}
+	m.enqueue(req, n.busyUntil)
+}
+
+func (m *backoffMAC) enqueue(req *request, slot sim.Time) {
+	m.slots[slot] = append(m.slots[slot], req)
+	if !m.scheduled[slot] {
+		m.scheduled[slot] = true
+		m.n.eng.ScheduleAt(slot, sim.PrioLate, func() { m.arbitrate(slot) })
+	}
+}
+
+// arbitrate resolves the contention slot at the current cycle. It runs at
+// PrioLate so every request registered during the cycle participates, and
+// after commit deliveries (PrioNormal), so withdrawals triggered by a
+// commit in the same cycle take effect first.
+func (m *backoffMAC) arbitrate(slot sim.Time) {
+	n := m.n
+	delete(m.scheduled, slot)
+	reqs := m.slots[slot]
+	delete(m.slots, slot)
+	live := reqs[:0]
+	for _, r := range reqs {
+		if r.state == reqPending {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if slot < n.busyUntil {
+		// The channel became busy after these requests were queued
+		// (an earlier slot had a winner); defer them.
+		for _, r := range live {
+			if n.p.Defer == DeferFIFO {
+				m.waitq = append(m.waitq, r)
+			} else {
+				m.enqueue(r, n.busyUntil)
+			}
+		}
+		return
+	}
+	if len(live) == 1 {
+		n.transmit(live[0], slot)
+		return
+	}
+	// Collision: detected cycle 2, channel free cycle 3.
+	n.Stats.Collisions++
+	m.stats.Collisions++
+	n.busyUntil = slot + n.p.CollisionCycles
+	n.Stats.BusyCycles += n.p.CollisionCycles
+	m.scheduleRelease(n.busyUntil)
+	if m.sharedExp < n.p.MaxBackoffExp {
+		m.sharedExp++
+	}
+	for _, r := range live {
+		exp := 0
+		switch n.p.Backoff {
+		case BackoffPerMessage:
+			r.attempts++
+			exp = r.attempts
+			if exp > n.p.MaxBackoffExp {
+				exp = n.p.MaxBackoffExp
+			}
+		case BackoffAdaptive:
+			exp = m.sharedExp
+		default: // persistent (Section 5.3)
+			src := r.msg.Src
+			if m.backoff[src] < n.p.MaxBackoffExp {
+				m.backoff[src]++
+			}
+			exp = m.backoff[src]
+		}
+		window := 1 << exp
+		if n.p.ConstantBackoffWindow > 0 {
+			window = n.p.ConstantBackoffWindow
+		}
+		wait := sim.Time(n.rng.Intn(window))
+		m.enqueue(r, slot+n.p.CollisionCycles+wait)
+	}
+}
+
+// Granted rewards a successful transmission: the winner's backoff exponent
+// (or the shared contention estimate) decays.
+func (m *backoffMAC) Granted(req *request) {
+	m.stats.Grants++
+	switch m.n.p.Backoff {
+	case BackoffPersistent:
+		if src := req.msg.Src; m.backoff[src] > 0 {
+			m.backoff[src]--
+		}
+	case BackoffAdaptive:
+		if m.sharedExp > 0 {
+			m.sharedExp--
+		}
+	}
+}
+
+// GrantAborted: the channel is still free, so the next deferred sender
+// restarts in this very slot.
+func (m *backoffMAC) GrantAborted() { m.releaseHead() }
+
+func (m *backoffMAC) TxScheduled(end sim.Time) { m.scheduleRelease(end) }
+
+// scheduleRelease arranges for the oldest deferred sender to restart at the
+// end of the current busy period. It is scheduled after same-cycle commit
+// delivery (by sequence order) and before slot arbitration (by priority),
+// so withdrawn requests are skipped and the released sender still contends
+// with any new same-cycle arrivals.
+func (m *backoffMAC) scheduleRelease(at sim.Time) {
+	if m.n.p.Defer != DeferFIFO {
+		return
+	}
+	m.n.eng.ScheduleAt(at, sim.PrioNormal, func() { m.releaseHead() })
+}
+
+func (m *backoffMAC) releaseHead() {
+	n := m.n
+	if n.busyUntil > n.eng.Now() {
+		return // a new busy period already started
+	}
+	for len(m.waitq) > 0 {
+		head := m.waitq[0]
+		m.waitq = m.waitq[1:]
+		if head.state != reqPending {
+			continue // withdrawn while queued
+		}
+		m.enqueue(head, n.eng.Now())
+		return
+	}
+}
+
+func (m *backoffMAC) Backlog() int {
+	q := len(m.waitq)
+	for _, reqs := range m.slots {
+		q += len(reqs)
+	}
+	return q
+}
+
+func (m *backoffMAC) Counters() MACStats { return m.stats }
+
+// drain removes every queued request — busy-deferred and future contention
+// slots alike — in deterministic order (FIFO queue first, then slots by
+// cycle) for an adaptive mode switch. Arbitration events already scheduled
+// for emptied slots fire as no-ops; the scheduled-marker map is left
+// intact so a later re-enqueue into such a slot reuses the pending event.
+func (m *backoffMAC) drain() []*request {
+	var out []*request
+	for _, r := range m.waitq {
+		if r.state == reqPending {
+			out = append(out, r)
+		}
+	}
+	m.waitq = nil
+	slots := make([]sim.Time, 0, len(m.slots))
+	for s := range m.slots {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		for _, r := range m.slots[s] {
+			if r.state == reqPending {
+				out = append(out, r)
+			}
+		}
+		delete(m.slots, s)
+	}
+	return out
+}

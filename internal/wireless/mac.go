@@ -1,0 +1,139 @@
+package wireless
+
+import (
+	"fmt"
+
+	"wisync/internal/sim"
+)
+
+// MACKind selects the channel's medium-access-control protocol. The WNoC
+// literature treats the MAC as the key design axis of a shared wireless
+// channel (Abadal et al., "Medium Access Control in Wireless
+// Network-on-Chip: A Context Analysis"): random-access families win under
+// light, bursty traffic, token families win under sustained saturation,
+// and traffic-aware designs (Mansoor et al.) switch between the two.
+type MACKind uint8
+
+const (
+	// MACBackoff is the paper's design (Section 5.3): carrier sensing
+	// with busy deferral plus binary exponential backoff on collisions.
+	// It is the default and reproduces the paper's channel behavior
+	// exactly.
+	MACBackoff MACKind = iota
+	// MACToken is collision-free round-robin token passing: a virtual
+	// token rotates over the nodes and only the holder may transmit, so
+	// simultaneous arrivals serialize without ever colliding, at the cost
+	// of token-rotation latency for sparse senders.
+	MACToken
+	// MACAdaptive is a traffic-aware switcher: it runs MACBackoff while
+	// the channel is lightly contended and hands the backlog to MACToken
+	// when the observed collision rate over a window crosses a threshold,
+	// returning to backoff once contention drains.
+	MACAdaptive
+)
+
+// MACKinds lists the selectable protocols in presentation order.
+var MACKinds = []MACKind{MACBackoff, MACToken, MACAdaptive}
+
+func (k MACKind) String() string {
+	switch k {
+	case MACBackoff:
+		return "backoff"
+	case MACToken:
+		return "token"
+	case MACAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("MACKind(%d)", int(k))
+}
+
+// ParseMACKind resolves a -mac flag value.
+func ParseMACKind(s string) (MACKind, bool) {
+	for _, k := range MACKinds {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MACStats are the per-protocol arbitration counters, kept separate from
+// the channel-level Stats so the golden-conformance rendering of Stats is
+// unchanged by the MAC refactor. Counters irrelevant to the selected
+// protocol stay zero (a backoff run never passes a token; a token run
+// never collides).
+type MACStats struct {
+	// Grants counts transmissions the MAC granted the channel to and
+	// that actually transmitted; it equals committed messages. Grants
+	// abandoned at the prepare hook are counted by Stats.SkippedGrants,
+	// not here (the channel was never occupied and backoff state does
+	// not decay).
+	Grants uint64
+	// Collisions counts collision events resolved by exponential backoff.
+	Collisions uint64
+	// TokenPasses counts token hops between consecutive grants.
+	TokenPasses uint64
+	// TokenWaitCycles is the total time transmissions spent waiting for
+	// the token to reach their node.
+	TokenWaitCycles uint64
+	// ModeSwitches counts adaptive backoff<->token transitions.
+	ModeSwitches uint64
+}
+
+func (s *MACStats) add(o MACStats) {
+	s.Grants += o.Grants
+	s.Collisions += o.Collisions
+	s.TokenPasses += o.TokenPasses
+	s.TokenWaitCycles += o.TokenWaitCycles
+	s.ModeSwitches += o.ModeSwitches
+}
+
+// MAC is the channel arbitration policy: it decides when each submitted
+// transmission may occupy the shared medium. The Network owns the physical
+// channel model (busy periods, commits, delivery, the prepare hook) and
+// calls back into the MAC at the three protocol-defining points —
+// channel-idle contention (Submit), grant time (Granted / GrantAborted)
+// and busy-period end (TxScheduled schedules the follow-up). A MAC starts
+// a transmission by calling Network.transmit; everything after the grant
+// is protocol-independent.
+//
+// Implementations live in this package (the request type is internal) and
+// are selected through Params.MAC; see MACKind for the protocol catalog.
+type MAC interface {
+	// Kind identifies the protocol.
+	Kind() MACKind
+	// Submit routes a transmission attempt at the current cycle. The MAC
+	// must eventually start the request (Network.transmit), unless it is
+	// withdrawn first.
+	Submit(req *request)
+	// Granted is called when req is about to occupy the channel, before
+	// the commit is scheduled: the protocol updates its contention state
+	// (backoff decrement, token position).
+	Granted(req *request)
+	// GrantAborted is called when a granted request was abandoned at the
+	// prepare hook: the channel is still free in this very cycle and the
+	// MAC may start the next sender in the same slot.
+	GrantAborted()
+	// TxScheduled is called after a transmission's commit has been
+	// scheduled; end is the cycle the busy period ends. The MAC arranges
+	// its busy-end follow-up (releasing a deferred sender, re-arming the
+	// token scan).
+	TxScheduled(end sim.Time)
+	// Backlog returns the number of submitted-but-not-granted requests
+	// the MAC is holding.
+	Backlog() int
+	// Counters returns the per-protocol counter snapshot.
+	Counters() MACStats
+}
+
+// newMAC builds the protocol selected by k for n.
+func newMAC(n *Network, k MACKind) MAC {
+	switch k {
+	case MACToken:
+		return newTokenMAC(n)
+	case MACAdaptive:
+		return newAdaptiveMAC(n)
+	default:
+		return newBackoffMAC(n)
+	}
+}

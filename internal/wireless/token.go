@@ -1,0 +1,165 @@
+package wireless
+
+import "wisync/internal/sim"
+
+// tokenMAC is collision-free round-robin token passing, the token family
+// of the WNoC MAC design space. A virtual token parks at the node that
+// transmitted last; when the channel is free the MAC walks the ring from
+// the holder's successor and grants the first node with a pending message,
+// charging Params.TokenHopCycles per hop traversed. Only the token holder
+// ever starts a transmission, so simultaneous arrivals serialize without
+// collisions and the channel drains a synchronized storm at full rate
+// (one hop plus one message time per sender). The cost is rotation
+// latency: a lone sender pays a full ring traversal per message, which is
+// where carrier-sense backoff wins — see the MAC comparison sweep.
+type tokenMAC struct {
+	n       *Network
+	pending [][]*request // per-node FIFO of submitted requests
+	holder  int          // node the token parks at (last to transmit)
+	npend   int          // queued entries across all nodes (incl. stale)
+	// armed marks an in-flight scan or token traversal, gating grants to
+	// one at a time. epoch invalidates in-flight events when an adaptive
+	// switch drains the queues.
+	armed bool
+	epoch uint64
+	stats MACStats
+}
+
+func newTokenMAC(n *Network) *tokenMAC {
+	return &tokenMAC{
+		n:       n,
+		pending: make([][]*request, n.nodes),
+		// Park the initial token so the scan starts at node 0.
+		holder: n.nodes - 1,
+	}
+}
+
+func (m *tokenMAC) Kind() MACKind { return MACToken }
+
+func (m *tokenMAC) Submit(req *request) {
+	m.pending[req.msg.Src] = append(m.pending[req.msg.Src], req)
+	m.npend++
+	m.arm()
+}
+
+// arm schedules a ring scan at the cycle the channel is next free, unless
+// a scan or token traversal is already in flight.
+func (m *tokenMAC) arm() {
+	if m.armed || m.npend == 0 {
+		return
+	}
+	m.armed = true
+	at := m.n.eng.Now()
+	if m.n.busyUntil > at {
+		at = m.n.busyUntil
+	}
+	epoch := m.epoch
+	// PrioLate, like slot arbitration: requests submitted earlier in the
+	// same cycle (commit deliveries run at PrioNormal) participate.
+	m.n.eng.ScheduleAt(at, sim.PrioLate, func() { m.scan(epoch) })
+}
+
+// scan walks the ring from the holder's successor and starts the token
+// toward the first node with a live pending request.
+func (m *tokenMAC) scan(epoch uint64) {
+	if epoch != m.epoch {
+		return // queues were drained by an adaptive mode switch
+	}
+	m.armed = false
+	n := m.n
+	now := n.eng.Now()
+	if n.busyUntil > now {
+		m.arm() // a new busy period started since this scan was armed
+		return
+	}
+	for step := 1; step <= n.nodes; step++ {
+		src := (m.holder + step) % n.nodes
+		q := m.pending[src]
+		for len(q) > 0 && q[0].state != reqPending {
+			q = q[1:] // withdrawn while queued
+			m.npend--
+		}
+		m.pending[src] = q
+		if len(q) == 0 {
+			continue
+		}
+		wait := sim.Time(step) * n.p.TokenHopCycles
+		m.stats.TokenPasses += uint64(step)
+		m.stats.TokenWaitCycles += uint64(wait)
+		m.armed = true
+		e := m.epoch
+		n.eng.ScheduleAt(now+wait, sim.PrioLate, func() { m.deliver(src, e) })
+		return
+	}
+}
+
+// deliver runs when the token arrives at src: the head request transmits.
+func (m *tokenMAC) deliver(src int, epoch uint64) {
+	if epoch != m.epoch {
+		return
+	}
+	m.armed = false
+	q := m.pending[src]
+	for len(q) > 0 && q[0].state != reqPending {
+		q = q[1:]
+		m.npend--
+	}
+	if len(q) == 0 {
+		// The chosen sender withdrew during the token flight; the hop
+		// cost is sunk, rescan for the next sender.
+		m.pending[src] = q
+		m.arm()
+		return
+	}
+	req := q[0]
+	m.pending[src] = q[1:]
+	m.npend--
+	m.holder = src
+	m.n.transmit(req, m.n.eng.Now())
+}
+
+func (m *tokenMAC) Granted(*request) { m.stats.Grants++ }
+
+// GrantAborted: the channel is still free and the token is already at the
+// holder, so the next sender can be granted in this very cycle.
+func (m *tokenMAC) GrantAborted() { m.arm() }
+
+func (m *tokenMAC) TxScheduled(sim.Time) { m.arm() }
+
+// Backlog counts live queued requests. It recounts rather than returning
+// npend: withdrawn entries are only trimmed when a scan reaches them, and
+// a stale count would both over-report QueueLen and delay the adaptive
+// MAC's occupancy-based switch back to backoff.
+func (m *tokenMAC) Backlog() int {
+	live := 0
+	for _, q := range m.pending {
+		for _, r := range q {
+			if r.state == reqPending {
+				live++
+			}
+		}
+	}
+	return live
+}
+
+func (m *tokenMAC) Counters() MACStats { return m.stats }
+
+// drain removes every queued request in token service order (round-robin
+// from the holder's successor) for an adaptive mode switch, and bumps the
+// epoch so any in-flight scan or token traversal event dies stale.
+func (m *tokenMAC) drain() []*request {
+	var out []*request
+	for step := 1; step <= m.n.nodes; step++ {
+		src := (m.holder + step) % m.n.nodes
+		for _, r := range m.pending[src] {
+			if r.state == reqPending {
+				out = append(out, r)
+			}
+		}
+		m.pending[src] = nil
+	}
+	m.npend = 0
+	m.armed = false
+	m.epoch++
+	return out
+}

@@ -26,6 +26,13 @@
 // Committed messages are delivered to all subscribers at the commit cycle;
 // the channel provides a total order of commits, which is what makes the
 // replicated Broadcast Memories of package bmem consistent.
+//
+// Arbitration is pluggable: the busy-deferral, collision and backoff
+// behavior described above is the default MAC protocol (Params.MAC ==
+// MACBackoff), selected among the protocols of the MACKind catalog —
+// collision-free token passing and a traffic-adaptive switcher are the
+// alternatives. The Network owns the physical channel (busy periods,
+// commits, delivery); the MAC interface owns every arbitration decision.
 package wireless
 
 import (
@@ -141,16 +148,34 @@ type Params struct {
 	// ConstantBackoffWindow, if nonzero, replaces exponential backoff
 	// with a fixed window of that size (ablation).
 	ConstantBackoffWindow int
+	// MAC selects the arbitration protocol (default MACBackoff, the
+	// paper's design; the Backoff/Defer/ConstantBackoffWindow knobs above
+	// configure it). MACToken and MACAdaptive are the alternatives.
+	MAC MACKind
+	// TokenHopCycles is the token-passing latency per ring hop for
+	// MACToken and the token mode of MACAdaptive (default 1: the token is
+	// a one-bit tone-like signal, so a hop fits in one channel slot).
+	TokenHopCycles sim.Time
+	// AdaptiveWindow is how many grants MACAdaptive observes between
+	// protocol-switch decisions (default 32).
+	AdaptiveWindow int
+	// AdaptiveCollisionRate is the collision-rate threshold above which
+	// MACAdaptive hands the channel to the token protocol (default 0.25).
+	AdaptiveCollisionRate float64
 }
 
 // DefaultParams returns the Table 1 channel configuration.
 func DefaultParams() Params {
 	return Params{
-		MsgCycles:       5,
-		BulkCycles:      15,
-		CollisionCycles: 2,
-		Backoff:         BackoffPersistent,
-		Defer:           DeferFIFO,
+		MsgCycles:             5,
+		BulkCycles:            15,
+		CollisionCycles:       2,
+		Backoff:               BackoffPersistent,
+		Defer:                 DeferFIFO,
+		MAC:                   MACBackoff,
+		TokenHopCycles:        1,
+		AdaptiveWindow:        32,
+		AdaptiveCollisionRate: 0.25,
 	}
 }
 
@@ -242,14 +267,7 @@ type Network struct {
 	nodes     int
 	rng       *sim.Rand
 	busyUntil sim.Time
-	slots     map[sim.Time][]*request
-	scheduled map[sim.Time]bool
-	waitq     []*request
-	backoff   []int
-	// sharedExp is the chip-wide contention exponent for
-	// BackoffAdaptive: every node observes the same channel, so the
-	// estimate is global (Section 5.3).
-	sharedExp int
+	mac       MAC
 	subs      []func(Msg, sim.Time)
 	prepare   func(Msg) bool
 	// Stats is exported for harness reporting.
@@ -267,15 +285,23 @@ func New(eng *sim.Engine, nodes int, p Params) *Network {
 			p.MaxBackoffExp++
 		}
 	}
-	return &Network{
-		eng:       eng,
-		p:         p,
-		nodes:     nodes,
-		rng:       eng.Rand().Fork(),
-		slots:     make(map[sim.Time][]*request),
-		scheduled: make(map[sim.Time]bool),
-		backoff:   make([]int, nodes),
+	if p.TokenHopCycles == 0 {
+		p.TokenHopCycles = 1
 	}
+	if p.AdaptiveWindow == 0 {
+		p.AdaptiveWindow = 32
+	}
+	if p.AdaptiveCollisionRate == 0 {
+		p.AdaptiveCollisionRate = 0.25
+	}
+	n := &Network{
+		eng:   eng,
+		p:     p,
+		nodes: nodes,
+		rng:   eng.Rand().Fork(),
+	}
+	n.mac = newMAC(n, p.MAC)
+	return n
 }
 
 // Params returns the channel configuration.
@@ -295,9 +321,15 @@ func (n *Network) Subscribe(fn func(Msg, sim.Time)) {
 // side-effect free.
 func (n *Network) SetPrepare(fn func(Msg) bool) { n.prepare = fn }
 
-// QueueLen returns the number of senders currently deferred by a busy
-// channel (FIFO discipline only).
-func (n *Network) QueueLen() int { return len(n.waitq) }
+// QueueLen returns the number of senders the MAC is currently holding
+// (busy-deferred, backoff-delayed, or waiting for the token).
+func (n *Network) QueueLen() int { return n.mac.Backlog() }
+
+// MAC returns the channel's arbitration protocol.
+func (n *Network) MAC() MAC { return n.mac }
+
+// MACCounters returns the per-protocol arbitration counters.
+func (n *Network) MACCounters() MACStats { return n.mac.Counters() }
 
 // Send transmits msg, blocking p until the message commits at all receivers
 // or the transfer is withdrawn through tok (which may be nil). It reports
@@ -360,97 +392,15 @@ func (n *Network) newRequest(msg Msg) *request {
 	return &request{n: n, msg: msg, start: n.eng.Now()}
 }
 
-// submit routes a (re)transmission attempt: straight into the current slot
-// when the channel is free, otherwise per the deferral policy.
-func (n *Network) submit(req *request) {
-	now := n.eng.Now()
-	if n.busyUntil <= now {
-		n.enqueue(req, now)
-		return
-	}
-	if n.p.Defer == DeferFIFO {
-		n.waitq = append(n.waitq, req)
-		return
-	}
-	n.enqueue(req, n.busyUntil)
-}
+// submit hands a (re)transmission attempt to the MAC, which decides when
+// it may occupy the channel.
+func (n *Network) submit(req *request) { n.mac.Submit(req) }
 
-func (n *Network) enqueue(req *request, slot sim.Time) {
-	n.slots[slot] = append(n.slots[slot], req)
-	if !n.scheduled[slot] {
-		n.scheduled[slot] = true
-		n.eng.ScheduleAt(slot, sim.PrioLate, func() { n.arbitrate(slot) })
-	}
-}
-
-// arbitrate resolves the contention slot at the current cycle. It runs at
-// PrioLate so every request registered during the cycle participates, and
-// after commit deliveries (PrioNormal), so withdrawals triggered by a
-// commit in the same cycle take effect first.
-func (n *Network) arbitrate(slot sim.Time) {
-	delete(n.scheduled, slot)
-	reqs := n.slots[slot]
-	delete(n.slots, slot)
-	live := reqs[:0]
-	for _, r := range reqs {
-		if r.state == reqPending {
-			live = append(live, r)
-		}
-	}
-	if len(live) == 0 {
-		return
-	}
-	if slot < n.busyUntil {
-		// The channel became busy after these requests were queued
-		// (an earlier slot had a winner); defer them.
-		for _, r := range live {
-			if n.p.Defer == DeferFIFO {
-				n.waitq = append(n.waitq, r)
-			} else {
-				n.enqueue(r, n.busyUntil)
-			}
-		}
-		return
-	}
-	if len(live) == 1 {
-		n.transmit(live[0], slot)
-		return
-	}
-	// Collision: detected cycle 2, channel free cycle 3.
-	n.Stats.Collisions++
-	n.busyUntil = slot + n.p.CollisionCycles
-	n.Stats.BusyCycles += n.p.CollisionCycles
-	n.scheduleRelease(n.busyUntil)
-	if n.sharedExp < n.p.MaxBackoffExp {
-		n.sharedExp++
-	}
-	for _, r := range live {
-		exp := 0
-		switch n.p.Backoff {
-		case BackoffPerMessage:
-			r.attempts++
-			exp = r.attempts
-			if exp > n.p.MaxBackoffExp {
-				exp = n.p.MaxBackoffExp
-			}
-		case BackoffAdaptive:
-			exp = n.sharedExp
-		default: // persistent (Section 5.3)
-			src := r.msg.Src
-			if n.backoff[src] < n.p.MaxBackoffExp {
-				n.backoff[src]++
-			}
-			exp = n.backoff[src]
-		}
-		window := 1 << exp
-		if n.p.ConstantBackoffWindow > 0 {
-			window = n.p.ConstantBackoffWindow
-		}
-		wait := sim.Time(n.rng.Intn(window))
-		n.enqueue(r, slot+n.p.CollisionCycles+wait)
-	}
-}
-
+// transmit starts req's transmission at slot (the current cycle). It is
+// the grant point every MAC funnels into: the prepare hook may abandon the
+// transfer, otherwise the channel goes busy for the message duration and
+// the commit is scheduled. The MAC is called back at the protocol-relevant
+// points (Granted / GrantAborted / TxScheduled).
 func (n *Network) transmit(req *request, slot sim.Time) {
 	if n.prepare != nil && !n.prepare(req.msg) {
 		// Abandoned at grant: no transmission, channel still free.
@@ -459,7 +409,7 @@ func (n *Network) transmit(req *request, slot sim.Time) {
 		req.committed = false
 		n.Stats.SkippedGrants++
 		req.resume()
-		n.releaseHead()
+		n.mac.GrantAborted()
 		return
 	}
 	req.state = reqTransmitting
@@ -469,45 +419,9 @@ func (n *Network) transmit(req *request, slot sim.Time) {
 	}
 	n.busyUntil = slot + dur
 	n.Stats.BusyCycles += dur
-	switch n.p.Backoff {
-	case BackoffPersistent:
-		if src := req.msg.Src; n.backoff[src] > 0 {
-			n.backoff[src]--
-		}
-	case BackoffAdaptive:
-		if n.sharedExp > 0 {
-			n.sharedExp--
-		}
-	}
+	n.mac.Granted(req)
 	n.eng.ScheduleAt(slot+dur, sim.PrioNormal, func() { n.commit(req) })
-	n.scheduleRelease(slot + dur)
-}
-
-// scheduleRelease arranges for the oldest deferred sender to restart at the
-// end of the current busy period. It is scheduled after same-cycle commit
-// delivery (by sequence order) and before slot arbitration (by priority),
-// so withdrawn requests are skipped and the released sender still contends
-// with any new same-cycle arrivals.
-func (n *Network) scheduleRelease(at sim.Time) {
-	if n.p.Defer != DeferFIFO {
-		return
-	}
-	n.eng.ScheduleAt(at, sim.PrioNormal, func() { n.releaseHead() })
-}
-
-func (n *Network) releaseHead() {
-	if n.busyUntil > n.eng.Now() {
-		return // a new busy period already started
-	}
-	for len(n.waitq) > 0 {
-		head := n.waitq[0]
-		n.waitq = n.waitq[1:]
-		if head.state != reqPending {
-			continue // withdrawn while queued
-		}
-		n.enqueue(head, n.eng.Now())
-		return
-	}
+	n.mac.TxScheduled(slot + dur)
 }
 
 func (n *Network) commit(req *request) {

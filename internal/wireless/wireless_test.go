@@ -238,7 +238,7 @@ func TestExponentialBackoffWindowGrows(t *testing.T) {
 	n := New(eng, 32, p)
 	maxExp := 0
 	n.Subscribe(func(Msg, sim.Time) {
-		for _, b := range n.backoff {
+		for _, b := range n.mac.(*backoffMAC).backoff {
 			if b > maxExp {
 				maxExp = b
 			}
@@ -287,7 +287,7 @@ func TestBackoffExponentCapped(t *testing.T) {
 	if n.Stats.Messages != 12 {
 		t.Errorf("Messages = %d, want 12", n.Stats.Messages)
 	}
-	for c, b := range n.backoff {
+	for c, b := range n.mac.(*backoffMAC).backoff {
 		if b > 3 {
 			t.Fatalf("node %d backoff exponent %d exceeds cap 3", c, b)
 		}
