@@ -190,6 +190,34 @@ func BenchmarkTxnContended(b *testing.B) {
 	})
 }
 
+// BenchmarkTaskTightLoop pins the workload-execution modes against each
+// other on the scaling regime that motivated the continuation conversion:
+// a single 256-core TightLoop point per machine substrate (Baseline's
+// directory storms, WiSyncNoT's Data-channel storms). The "task" variants
+// run goroutine-free on the engine goroutine; the "thread" variants pay
+// one goroutine park/unpark per forced suspension. Simulated results are
+// bit-identical by construction (cyc must never differ between the modes —
+// the equivalence suite enforces it; here it is reported so benchmark
+// diffs catch drift too).
+func BenchmarkTaskTightLoop(b *testing.B) {
+	const cores = 256
+	const iters = 10
+	run := func(kind config.Kind, exec kernels.Exec) func(b *testing.B) {
+		return func(b *testing.B) {
+			var cyc float64
+			for i := 0; i < b.N; i++ {
+				r := kernels.TightLoopExec(config.New(kind, cores), iters, exec)
+				cyc = float64(r.Cycles)
+			}
+			b.ReportMetric(cyc, "cyc")
+		}
+	}
+	b.Run("task-baseline", run(config.Baseline, kernels.ExecTask))
+	b.Run("thread-baseline", run(config.Baseline, kernels.ExecThread))
+	b.Run("task-wnot", run(config.WiSyncNoT, kernels.ExecTask))
+	b.Run("thread-wnot", run(config.WiSyncNoT, kernels.ExecThread))
+}
+
 // ---- Ablations (DESIGN.md section 5) ----
 
 // benchBarrier measures one barrier configuration's cycles/episode.

@@ -11,9 +11,12 @@
 // more; benchgate takes the median time/op per benchmark name (medians
 // shrug off the one-off scheduling hiccups that plague CI runners, where
 // benchstat's mean-based deltas would flap) and reports every ratio plus
-// the geomean. Benchmarks present in only one file are reported but do
-// not gate, so adding or removing a benchmark never requires touching the
-// baseline in the same change.
+// the geomean. Benchmarks present only in the new run are reported but do
+// not gate, so adding a benchmark never requires touching the baseline in
+// the same change. A benchmark named in the baseline but missing from the
+// new run, however, is a hard error: a renamed or silently-skipped
+// benchmark must not dilute the gate into a zero-benchmark pass —
+// removing one intentionally means removing it from the baseline too.
 //
 // The companion benchstat comparison in CI is informational; this tool is
 // the pass/fail decision. To refresh the baseline after an intended
@@ -49,10 +52,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	report, geomean, ok := gate(old, cur, *max)
+	report, _, err := gate(old, cur, *max)
 	fmt.Print(report)
-	if !ok {
-		fatalf("geomean time ratio %.3f exceeds limit %.2f", geomean, *max)
+	if err != nil {
+		fatalf("%v", err)
 	}
 }
 
@@ -109,10 +112,13 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// gate renders the comparison table and decides pass/fail: the geometric
-// mean of new/old median ratios over benchmarks present in both files
-// must not exceed max.
-func gate(old, cur map[string][]float64, max float64) (report string, geomean float64, ok bool) {
+// gate renders the comparison table and decides pass/fail. Two failure
+// modes: the geometric mean of new/old median ratios over the baseline's
+// benchmarks exceeds max, or a benchmark named in the baseline is missing
+// from the new run entirely — a renamed or silently-skipped benchmark
+// must surface as an explicit baseline edit, never as a quietly weaker
+// (or empty) gate.
+func gate(old, cur map[string][]float64, max float64) (report string, geomean float64, err error) {
 	var names []string
 	for name := range old {
 		names = append(names, name)
@@ -121,12 +127,14 @@ func gate(old, cur map[string][]float64, max float64) (report string, geomean fl
 	var b strings.Builder
 	var logSum float64
 	var compared int
+	var missing []string
 	fmt.Fprintf(&b, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, name := range names {
 		o := median(old[name])
 		samples, present := cur[name]
 		if !present {
-			fmt.Fprintf(&b, "%-50s %14.0f %14s %8s\n", name, o, "missing", "-")
+			missing = append(missing, name)
+			fmt.Fprintf(&b, "%-50s %14.0f %14s %8s  (MISSING from new run)\n", name, o, "missing", "-")
 			continue
 		}
 		n := median(samples)
@@ -145,9 +153,17 @@ func gate(old, cur map[string][]float64, max float64) (report string, geomean fl
 	for _, name := range added {
 		fmt.Fprintf(&b, "%-50s %14s %14.0f %8s  (not in baseline)\n", name, "-", median(cur[name]), "-")
 	}
+	if len(missing) > 0 {
+		return b.String(), 0, fmt.Errorf(
+			"%d benchmark(s) named in the baseline are missing from the new run: %s "+
+				"(renamed or skipped? run them, or remove them from the baseline explicitly)",
+			len(missing), strings.Join(missing, ", "))
+	}
 	if compared == 0 {
-		fmt.Fprintf(&b, "no common benchmarks: nothing to gate\n")
-		return b.String(), 1, true
+		// A baseline naming nothing means the file is truncated, corrupt,
+		// or the benchmark output format drifted past the parser — never
+		// a state to wave through.
+		return b.String(), 0, fmt.Errorf("baseline contains no benchmarks: nothing to gate (corrupt or truncated baseline file?)")
 	}
 	geomean = math.Exp(logSum / float64(compared))
 	verdict := "within"
@@ -156,7 +172,10 @@ func gate(old, cur map[string][]float64, max float64) (report string, geomean fl
 	}
 	fmt.Fprintf(&b, "geomean ratio over %d benchmarks: %.3f (%s limit %.2f)\n",
 		compared, geomean, verdict, max)
-	return b.String(), geomean, geomean <= max
+	if geomean > max {
+		return b.String(), geomean, fmt.Errorf("geomean time ratio %.3f exceeds limit %.2f", geomean, max)
+	}
+	return b.String(), geomean, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -16,7 +16,6 @@ BenchmarkScheduleDrain-8     	25000000	        47.90 ns/op	       0 B/op	       
 BenchmarkScheduleDrain-8     	25000000	        48.00 ns/op	       0 B/op	       0 allocs/op
 BenchmarkTxnContended/mem-8  	    1000	   1500000 ns/op	    102692 cyc
 BenchmarkTxnContended/mem-8  	    1000	   1550000 ns/op	    102692 cyc
-BenchmarkRemoved-8           	    1000	   1000000 ns/op
 PASS
 `
 
@@ -59,16 +58,16 @@ func TestParseBench(t *testing.T) {
 func TestGatePassesWhenFlat(t *testing.T) {
 	old := parseStr(t, oldRun)
 	cur := parseStr(t, newRun("201000000", "48.20", "1520000"))
-	report, geomean, ok := gate(old, cur, 1.15)
-	if !ok {
-		t.Fatalf("flat run failed the gate: %v\n%s", geomean, report)
+	report, geomean, err := gate(old, cur, 1.15)
+	if err != nil {
+		t.Fatalf("flat run failed the gate: %v\n%s", err, report)
 	}
 	if geomean < 0.95 || geomean > 1.05 {
 		t.Errorf("geomean = %v, want ~1.0", geomean)
 	}
-	// Disjoint benchmarks are reported but don't gate.
-	if !strings.Contains(report, "BenchmarkRemoved") || !strings.Contains(report, "BenchmarkAdded") {
-		t.Errorf("report does not mention disjoint benchmarks:\n%s", report)
+	// Benchmarks only in the new run are reported but don't gate.
+	if !strings.Contains(report, "BenchmarkAdded") {
+		t.Errorf("report does not mention the added benchmark:\n%s", report)
 	}
 }
 
@@ -76,8 +75,8 @@ func TestGateFailsOnGeomeanRegression(t *testing.T) {
 	old := parseStr(t, oldRun)
 	// Every benchmark 30% slower: geomean 1.3 > 1.15.
 	cur := parseStr(t, newRun("260000000", "62.40", "1976500"))
-	report, geomean, ok := gate(old, cur, 1.15)
-	if ok {
+	report, geomean, err := gate(old, cur, 1.15)
+	if err == nil {
 		t.Fatalf("30%% regression passed the gate: %v\n%s", geomean, report)
 	}
 	if geomean < 1.25 || geomean > 1.35 {
@@ -91,15 +90,41 @@ func TestGateToleratesSingleOutlier(t *testing.T) {
 	// under the 15% limit — a single noisy benchmark doesn't block CI,
 	// a broad slowdown does.
 	cur := parseStr(t, newRun("260000000", "48.00", "1525000"))
-	if report, geomean, ok := gate(old, cur, 1.15); !ok {
-		t.Fatalf("single outlier failed the gate: %v\n%s", geomean, report)
+	if report, _, err := gate(old, cur, 1.15); err != nil {
+		t.Fatalf("single outlier failed the gate: %v\n%s", err, report)
 	}
 }
 
+// TestGateFailsOnMissingBenchmark: a benchmark named in the baseline but
+// absent from the new run is a hard, named error — never a silent (or
+// zero-benchmark) pass.
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	old := parseStr(t, oldRun+"BenchmarkRemoved-8 1000 1000000 ns/op\n")
+	cur := parseStr(t, newRun("201000000", "48.20", "1520000"))
+	report, _, err := gate(old, cur, 1.15)
+	if err == nil {
+		t.Fatalf("missing baseline benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRemoved") {
+		t.Errorf("error does not name the missing benchmark: %v", err)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Errorf("report does not flag the missing benchmark:\n%s", report)
+	}
+}
+
+// TestGateNoCommonBenchmarks: a fully disjoint pair means every baseline
+// benchmark is missing — that must fail loudly, not pass on an empty
+// intersection.
 func TestGateNoCommonBenchmarks(t *testing.T) {
 	old := parseStr(t, "BenchmarkOnlyOld-2 1 5 ns/op\n")
 	cur := parseStr(t, "BenchmarkOnlyNew-2 1 5 ns/op\n")
-	if _, _, ok := gate(old, cur, 1.15); !ok {
-		t.Error("empty intersection must not fail the gate")
+	if _, _, err := gate(old, cur, 1.15); err == nil {
+		t.Error("disjoint benchmark sets must fail the gate")
+	}
+	// An empty baseline (truncated or corrupt file) must fail too — a
+	// gate with zero comparisons is not a pass.
+	if _, _, err := gate(map[string][]float64{}, cur, 1.15); err == nil {
+		t.Error("empty baseline must fail the gate")
 	}
 }

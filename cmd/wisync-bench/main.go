@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wisync-bench [-quick] [-mac backoff|token|adaptive] [table4|fig7|fig8|fig9|fig10|table5|fig11|macs|all]
+//	wisync-bench [-quick] [-mac backoff|token|adaptive] [-cpuprofile f] [-memprofile f] [table4|fig7|fig8|fig9|fig10|table5|fig11|macs|all]
 //
 // Each subcommand prints the same rows or series the paper reports. Shapes
 // (who wins, by roughly what factor, where crossovers fall) reproduce the
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"wisync/internal/harness"
+	"wisync/internal/profiling"
 	"wisync/internal/wireless"
 )
 
@@ -62,6 +63,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+strings.Join(macNames(), "|"))
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available subcommands and MAC protocols, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-mac p] [-list] [%s]\n",
@@ -96,8 +99,14 @@ func main() {
 			macDesc = "all-compared"
 		}
 		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d mac=%s seed=1\n", what, *quick, *workers, macDesc)
+		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)
+			os.Exit(1)
+		}
 		start := time.Now()
 		c.run(o)
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}

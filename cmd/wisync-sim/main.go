@@ -22,6 +22,9 @@
 // independent seeded simulations, so they are dispatched across -workers
 // concurrent workers (0 = GOMAXPROCS) and printed in list order — the
 // output is identical at any worker count.
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the
+// simulation (see README "Profiling").
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"wisync/internal/config"
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
+	"wisync/internal/profiling"
 	"wisync/internal/sim"
 	"wisync/internal/wireless"
 )
@@ -62,6 +66,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points for a -cores list (0 = GOMAXPROCS, 1 = sequential)")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+macNames())
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available workloads, configs, variants and MACs, then exit")
 	flag.Parse()
 
@@ -105,6 +111,10 @@ func main() {
 	// Self-describing output: echo the effective configuration first.
 	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d mac=%v workload=%s\n",
 		kind, *cores, v, *seed, *workers, mac, *workload)
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	// Each sweep point renders into its own buffer; buffers are printed in
 	// list order so the output does not depend on the worker count.
 	outputs := make([]strings.Builder, len(coreList))
@@ -112,6 +122,7 @@ func main() {
 		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac)
 		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
 	})
+	stopProfiles()
 	for i := range outputs {
 		fmt.Print(outputs[i].String())
 	}

@@ -1,0 +1,154 @@
+package bmem
+
+import (
+	"wisync/internal/sim"
+	"wisync/internal/wireless"
+)
+
+// This file is the continuation-form face of the Broadcast Memory: each
+// blocking operation in ops.go has an async variant taking a completion
+// callback instead of a parked process. Protection and addressing faults
+// are still reported synchronously (the blocking forms check before any
+// simulated time elapses); a fault that develops mid-operation — an entry
+// freed under a spinning task — is a death of the simulated program, like
+// the blocking form's must(), and panics. Both faces consume event
+// sequence numbers at identical points, so they are interchangeable
+// without moving a simulated result.
+
+// LoadAsync is the continuation mirror of Load.
+func (b *BM) LoadAsync(node int, pid uint16, addr uint32, then func(uint64)) error {
+	if err := b.check(node, pid, addr); err != nil {
+		return err
+	}
+	b.Stats.Loads++
+	b.eng.SleepThen(b.p.RT, func() { then(b.entries[addr].val) })
+	return nil
+}
+
+// StoreAsync is the continuation mirror of Store: then runs at the commit
+// cycle, with WCB set.
+func (b *BM) StoreAsync(node int, pid uint16, addr uint32, val uint64, then func()) error {
+	if err := b.check(node, pid, addr); err != nil {
+		return err
+	}
+	b.Stats.Stores++
+	b.wcb[node] = false
+	b.net.SendAsync(wireless.Msg{Src: node, Addr: addr, Val: val, Kind: wireless.KindStore, PID: pid}, nil,
+		func(bool) {
+			b.wcb[node] = true
+			then()
+		})
+	return nil
+}
+
+// RMWAsync is the continuation mirror of RMW: then receives the value read
+// and whether the instruction executed atomically, at the cycle RMW would
+// have returned.
+func (b *BM) RMWAsync(node int, pid uint16, addr uint32, f func(uint64) (uint64, bool), then func(old uint64, ok bool)) error {
+	if err := b.check(node, pid, addr); err != nil {
+		return err
+	}
+	b.Stats.RMWs++
+	if !b.p.RMWEarlyRead {
+		return b.rmwAtGrantAsync(node, pid, addr, f, then)
+	}
+	b.wcb[node] = false
+	b.afb[node] = false
+	pr := &b.pending[node]
+	*pr = pendingRMW{active: true, addr: addr}
+
+	// Local read: the atomicity window opens here.
+	b.eng.SleepThen(b.p.RT, func() {
+		old := b.entries[addr].val
+		if pr.aborted {
+			// A conflicting commit landed during the local read.
+			b.wcb[node] = true
+			then(old, false)
+			return
+		}
+		newVal, doWrite := f(old)
+		if !doWrite {
+			pr.active = false
+			b.wcb[node] = true
+			then(old, true)
+			return
+		}
+		b.net.SendAsync(wireless.Msg{Src: node, Addr: addr, Val: newVal, Kind: wireless.KindRMW, PID: pid}, &pr.tok,
+			func(committed bool) {
+				b.wcb[node] = true
+				if !committed {
+					// Withdrawn: AFB was set by the conflicting commit.
+					then(old, false)
+					return
+				}
+				pr.active = false
+				then(old, true)
+			})
+	})
+	return nil
+}
+
+// rmwAtGrantAsync mirrors rmwAtGrant: the pipeline read delay and the
+// channel submission are already continuations there; here the completion
+// is one too.
+func (b *BM) rmwAtGrantAsync(node int, pid uint16, addr uint32, f func(uint64) (uint64, bool), then func(old uint64, ok bool)) error {
+	b.wcb[node] = false
+	b.afb[node] = false
+	var old uint64
+	op := func(cur uint64) (uint64, bool) {
+		old = cur
+		return f(cur)
+	}
+	msg := wireless.Msg{Src: node, Addr: addr, Kind: wireless.KindRMW, PID: pid, Op: op}
+	// The instruction still reads the local BM into the pipeline (RT),
+	// then contends for the channel.
+	b.eng.SleepThen(b.p.RT, func() {
+		b.net.SendAsync(msg, nil, func(bool) {
+			b.wcb[node] = true
+			then(old, true)
+		})
+	})
+	return nil
+}
+
+// WaitChangeFn enqueues the continuation fn to run when a commit (or tone
+// toggle) touches addr — the task-style counterpart of WaitChange.
+func (b *BM) WaitChangeFn(addr uint32, fn func()) {
+	b.watcherQueue(addr).WaitFn(b.eng, fn)
+}
+
+// SpinUntilAsync is the continuation mirror of SpinUntil: local-replica
+// polls between commits, no network traffic. then receives the satisfying
+// value.
+func (b *BM) SpinUntilAsync(node int, pid uint16, addr uint32, cond func(uint64) bool, then func(uint64)) error {
+	if err := b.check(node, pid, addr); err != nil {
+		return err
+	}
+	var onVal func(uint64)
+	respin := func() {
+		if err := b.LoadAsync(node, pid, addr, onVal); err != nil {
+			// The entry was freed or re-tagged mid-spin: the simulated
+			// program faults, as the blocking form's must() would.
+			panic(err)
+		}
+	}
+	onVal = func(v uint64) {
+		if cond(v) {
+			then(v)
+			return
+		}
+		b.WaitChangeFn(addr, respin)
+	}
+	respin()
+	return nil
+}
+
+// watcherQueue returns the spin queue for addr, creating it on demand.
+func (b *BM) watcherQueue(addr uint32) *sim.WaitQueue {
+	q, ok := b.watchers[addr]
+	if !ok {
+		q = &sim.WaitQueue{}
+		b.watchers[addr] = q
+	}
+	return q
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"wisync/internal/sim"
+)
+
+// Task is the continuation-form counterpart of Thread: one software thread
+// pinned to a core, written in completion-callback style. Where a Thread
+// method blocks its goroutine until the operation completes, the matching
+// Task method returns immediately and runs `then` at the completion cycle,
+// so an entire workload of Tasks executes on the goroutine driving the
+// engine with zero process switches.
+//
+// Tasks charge computation lazily exactly like Threads (Compute/Instr
+// accumulate into pending, flushed at the next shared-state access) and
+// consume event sequence numbers at the same execution points, so a kernel
+// ported between the two styles produces bit-identical simulated results —
+// the property the equivalence suite in package kernels and the golden-
+// conformance suite in package harness pin.
+//
+// Continuation discipline: each `then` must be the last simulation action
+// of its caller (tail position), and a task must call Finish when its
+// workload completes. Fault-raising instructions (BM protection or
+// addressing violations) terminate the simulated program by panicking, as
+// the blocking Thread's must() does; there are no Try variants in
+// continuation form.
+type Task struct {
+	M    *Machine
+	Core int
+	PID  uint16
+
+	st      *sim.Task
+	pending sim.Time
+}
+
+// SpawnTask starts body as a continuation-form thread pinned to the given
+// core. Like Spawn, tasks started before Run begin at cycle 0, and the
+// spawn consumes one event sequence number — a Thread and a Task spawned
+// at the same point begin at the same (time, priority, sequence) position.
+func (m *Machine) SpawnTask(name string, core int, pid uint16, body func(*Task)) *Task {
+	if core < 0 || core >= m.Cfg.Cores {
+		panic(fmt.Sprintf("core: spawn on core %d of %d", core, m.Cfg.Cores))
+	}
+	t := &Task{M: m, Core: core, PID: pid}
+	t.st = m.Eng.GoTask(name, func(*sim.Task) { body(t) })
+	return t
+}
+
+// SpawnAllTasks starts one task per core (cores 0..n-1, PID 1), mirroring
+// SpawnAll.
+func (m *Machine) SpawnAllTasks(body func(*Task)) {
+	for c := 0; c < m.Cfg.Cores; c++ {
+		m.SpawnTask(fmt.Sprintf("t%d", c), c, 1, body)
+	}
+}
+
+// Finish retires the task; every task must call it when its workload is
+// done, or Run reports a deadlock.
+func (t *Task) Finish() { t.st.Finish() }
+
+// Now returns the task's local time: engine time plus unflushed compute.
+func (t *Task) Now() sim.Time { return t.M.Eng.Now() + t.pending }
+
+// Compute charges n cycles of local computation.
+func (t *Task) Compute(n int) {
+	if n > 0 {
+		t.pending += sim.Time(n)
+	}
+}
+
+// Instr charges n dynamic instructions on the 2-issue core (Table 1):
+// ceil(n/2) cycles.
+func (t *Task) Instr(n int) {
+	if n > 0 {
+		t.pending += sim.Time((n + 1) / 2)
+	}
+}
+
+// flush elapses pending compute, then runs then — the continuation mirror
+// of Thread.flush, consuming one sequence number when pending > 0 and none
+// otherwise, exactly like the blocking form.
+func (t *Task) flush(then func()) {
+	if t.pending == 0 {
+		then()
+		return
+	}
+	d := t.pending
+	t.pending = 0
+	t.M.Eng.SleepThen(d, then)
+}
+
+// Sync flushes pending compute; then runs once Now() is architectural.
+func (t *Task) Sync(then func()) { t.flush(then) }
+
+// ---- Regular cached memory (all configurations) ----
+
+// Read loads the 64-bit word at addr through the cache hierarchy.
+//
+// Read and RMW inline flush's pending-compute discipline instead of
+// calling it: wrapping the issue in a flush closure costs an allocation
+// even on the (dominant) pending==0 path, and measurably — Fig7 runs
+// ~1.8x slower with the helper. The three copies must stay in lockstep;
+// the thread/task equivalence suite pins the contract.
+func (t *Task) Read(addr uint64, then func(uint64)) {
+	t.st.SetReason("mem read")
+	if t.pending > 0 {
+		d := t.pending
+		t.pending = 0
+		t.M.Eng.SleepThen(d, func() { t.M.Mem.ReadAsync(t.Core, addr, then) })
+		return
+	}
+	t.M.Mem.ReadAsync(t.Core, addr, then)
+}
+
+// Write stores val to addr through the cache hierarchy.
+func (t *Task) Write(addr uint64, val uint64, then func()) {
+	t.RMW(addr, func(uint64) (uint64, bool) { return val, true }, func(uint64) { then() })
+}
+
+// RMW performs an atomic read-modify-write on cached memory; then receives
+// the old value. Like Read, it inlines flush's discipline for speed.
+func (t *Task) RMW(addr uint64, f func(uint64) (uint64, bool), then func(uint64)) {
+	t.st.SetReason("mem rmw")
+	if t.pending > 0 {
+		d := t.pending
+		t.pending = 0
+		t.M.Eng.SleepThen(d, func() { t.M.Mem.RMWAsync(t.Core, addr, f, then) })
+		return
+	}
+	t.M.Mem.RMWAsync(t.Core, addr, f, then)
+}
+
+// CAS is compare-and-swap on cached memory; then reports whether it
+// swapped.
+func (t *Task) CAS(addr, old, nv uint64, then func(bool)) {
+	t.RMW(addr, func(cur uint64) (uint64, bool) { return nv, cur == old },
+		func(got uint64) { then(got == old) })
+}
+
+// FetchAdd atomically adds delta to the word at addr; then receives the
+// old value.
+func (t *Task) FetchAdd(addr, delta uint64, then func(uint64)) {
+	t.RMW(addr, func(cur uint64) (uint64, bool) { return cur + delta, true }, then)
+}
+
+// Swap atomically exchanges the word at addr with val; then receives the
+// old value.
+func (t *Task) Swap(addr, val uint64, then func(uint64)) {
+	t.RMW(addr, func(uint64) (uint64, bool) { return val, true }, then)
+}
+
+// SpinUntil spins on cached memory until cond holds (hardware-faithful:
+// local spinning, re-fetch on invalidation); then receives the satisfying
+// value.
+func (t *Task) SpinUntil(addr uint64, cond func(uint64) bool, then func(uint64)) {
+	t.st.SetReason("spin")
+	t.flush(func() { t.M.Mem.SpinUntilAsync(t.Core, addr, cond, then) })
+}
+
+// ---- Broadcast Memory ISA (WiSync configurations) ----
+
+func (t *Task) bm() {
+	if t.M.BM == nil {
+		panic("core: BM instruction on a configuration without Broadcast Memory")
+	}
+}
+
+func (t *Task) must(err error) {
+	if err != nil {
+		// A protection or addressing fault kills the simulated program.
+		panic(err)
+	}
+}
+
+// BMLoad is a plain load from the local BM.
+func (t *Task) BMLoad(addr uint32, then func(uint64)) {
+	t.st.SetReason("bm load")
+	t.bm()
+	t.flush(func() { t.must(t.M.BM.LoadAsync(t.Core, t.PID, addr, then)) })
+}
+
+// BMStore broadcasts val to addr in every BM; then runs when the write
+// commits (WCB set).
+func (t *Task) BMStore(addr uint32, val uint64, then func()) {
+	t.st.SetReason("bm store")
+	t.bm()
+	t.flush(func() { t.must(t.M.BM.StoreAsync(t.Core, t.PID, addr, val, then)) })
+}
+
+// BMRMW1 is a single hardware RMW attempt (no retry): then receives the
+// value read and ok=false if atomicity failed (AFB set, nothing written).
+func (t *Task) BMRMW1(addr uint32, f func(uint64) (uint64, bool), then func(old uint64, ok bool)) {
+	t.st.SetReason("bm rmw")
+	t.bm()
+	t.flush(func() { t.must(t.M.BM.RMWAsync(t.Core, t.PID, addr, f, then)) })
+}
+
+// BMFetchAdd executes fetch&add with the Figure 4(a) retry protocol; then
+// receives the value before the add.
+func (t *Task) BMFetchAdd(addr uint32, delta uint64, then func(uint64)) {
+	var attempt func()
+	attempt = func() {
+		t.BMRMW1(addr, func(cur uint64) (uint64, bool) { return cur + delta, true },
+			func(old uint64, ok bool) {
+				if ok {
+					then(old)
+					return
+				}
+				// AFB set: retry (a couple of pipeline cycles to check
+				// the register and branch back).
+				t.Instr(2)
+				attempt()
+			})
+	}
+	attempt()
+}
+
+// BMFetchInc is fetch&increment.
+func (t *Task) BMFetchInc(addr uint32, then func(uint64)) { t.BMFetchAdd(addr, 1, then) }
+
+// BMTestAndSet sets addr to 1; then receives the previous value, after
+// retrying on atomicity failure.
+func (t *Task) BMTestAndSet(addr uint32, then func(uint64)) {
+	var attempt func()
+	attempt = func() {
+		t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
+			if cur != 0 {
+				return cur, false // already set; read is enough
+			}
+			return 1, true
+		}, func(old uint64, ok bool) {
+			if ok {
+				then(old)
+				return
+			}
+			t.Instr(2)
+			attempt()
+		})
+	}
+	attempt()
+}
+
+// BMCAS executes compare-and-swap with the Figure 4(b) protocol; then
+// reports whether the swap was performed.
+func (t *Task) BMCAS(addr uint32, old, nv uint64, then func(bool)) {
+	var attempt func()
+	attempt = func() {
+		t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
+			return nv, cur == old
+		}, func(cur uint64, ok bool) {
+			if ok {
+				then(cur == old)
+				return
+			}
+			t.Instr(2)
+			attempt()
+		})
+	}
+	attempt()
+}
+
+// BMSpinUntil spins on the local BM replica until cond holds; then
+// receives the satisfying value.
+func (t *Task) BMSpinUntil(addr uint32, cond func(uint64) bool, then func(uint64)) {
+	t.st.SetReason("bm spin")
+	t.bm()
+	t.flush(func() { t.must(t.M.BM.SpinUntilAsync(t.Core, t.PID, addr, cond, then)) })
+}
+
+// ---- Tone channel ISA (full WiSync only) ----
+
+func (t *Task) toneHW() {
+	if t.M.Tone == nil {
+		panic("core: tone instruction on a configuration without the Tone channel")
+	}
+}
+
+// ToneStore is tone_st: announce arrival at the tone barrier at addr.
+func (t *Task) ToneStore(addr uint32, then func()) {
+	t.st.SetReason("tone store")
+	t.toneHW()
+	t.flush(func() { t.must(t.M.Tone.ToneStoreAsync(t.Core, t.PID, addr, then)) })
+}
+
+// ToneWait spins with tone_ld until the barrier variable equals want.
+func (t *Task) ToneWait(addr uint32, want uint64, then func()) {
+	t.st.SetReason("tone wait")
+	t.toneHW()
+	t.flush(func() {
+		t.must(t.M.Tone.WaitToggleAsync(t.Core, t.PID, addr, want, func(uint64) { then() }))
+	})
+}

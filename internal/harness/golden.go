@@ -67,20 +67,27 @@ func GoldenPoints() []GoldenPoint {
 // round-trip form), counters in full. Two runs of the same simulator build
 // produce byte-identical lines; any behavioral divergence moves at least
 // one column.
-func GoldenRun(pt GoldenPoint) string {
+func GoldenRun(pt GoldenPoint) string { return GoldenRunExec(pt, kernels.ExecTask) }
+
+// GoldenRunExec is GoldenRun with an explicit workload execution mode. The
+// committed golden file was generated with blocking threads before the
+// continuation conversion; both modes must render every line byte-identical
+// to it (TestGoldenConformance pins the default, TestGoldenBlockingEquivalence
+// the reference mode).
+func GoldenRunExec(pt GoldenPoint, exec kernels.Exec) string {
 	cfg := config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed)
 	switch pt.Kernel {
 	case "tightloop":
-		r := kernels.TightLoop(cfg, 8)
+		r := kernels.TightLoopExec(cfg, 8, exec)
 		return goldenLine(pt, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration())))
 	case "livermore2":
-		r, x := kernels.Livermore2(cfg, 96, 1)
+		r, x := kernels.Livermore2Exec(cfg, 96, 1, exec)
 		return goldenLine(pt, r, fmt.Sprintf("xsum=%s", gf(vecSum(x))))
 	case "livermore6":
-		r, w := kernels.Livermore6(cfg, 40)
+		r, w := kernels.Livermore6Exec(cfg, 40, exec)
 		return goldenLine(pt, r, fmt.Sprintf("wsum=%s", gf(vecSum(w))))
 	case "cas-fifo":
-		r := kernels.CASKernel(cfg, kernels.FIFO, 128, 20000)
+		r := kernels.CASKernelExec(cfg, kernels.FIFO, 128, 20000, exec)
 		return pt.ID() + "\t" + strings.Join([]string{
 			fmt.Sprintf("ok=%d", r.Successes),
 			fmt.Sprintf("failed=%d", r.Failures),

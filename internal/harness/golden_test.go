@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wisync/internal/kernels"
 )
 
 // Regenerate the golden file after an INTENDED behavior change with:
@@ -20,20 +22,63 @@ var updateGolden = flag.Bool("update-golden", false,
 
 const goldenPath = "testdata/golden.tsv"
 
+// shortPoints returns the 16-core half of the matrix in -short mode, the
+// full matrix otherwise — the shared subsetting policy of the golden
+// suites.
+func shortPoints() []GoldenPoint {
+	pts := GoldenPoints()
+	if !testing.Short() {
+		return pts
+	}
+	short := pts[:0:0]
+	for _, pt := range pts {
+		if pt.Cores <= 16 {
+			short = append(short, pt)
+		}
+	}
+	return short
+}
+
+// loadGolden reads the committed golden file as an id -> line map.
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (generate with -update-golden): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		id, _, _ := strings.Cut(line, "\t")
+		want[id] = line
+	}
+	return want
+}
+
+// compareToGolden asserts each produced line is byte-identical to the
+// committed one. mode labels the execution mode in failure messages.
+func compareToGolden(t *testing.T, want map[string]string, lines []string, mode string) {
+	t.Helper()
+	for _, line := range lines {
+		id, _, _ := strings.Cut(line, "\t")
+		wantLine, ok := want[id]
+		if !ok {
+			t.Errorf("%s: not in golden file (regenerate with -update-golden)", id)
+			continue
+		}
+		if line != wantLine {
+			t.Errorf("%s: %s execution diverged from golden\n got: %s\nwant: %s", id, mode, line, wantLine)
+		}
+	}
+}
+
 // TestGoldenConformance re-runs every conformance point and asserts each
 // metrics line is byte-identical to the committed golden file. In -short
 // mode only the 16-core half of the matrix runs (the full matrix still runs
 // in the regular CI test job).
 func TestGoldenConformance(t *testing.T) {
-	pts := GoldenPoints()
-	if testing.Short() && !*updateGolden {
-		short := pts[:0:0]
-		for _, pt := range pts {
-			if pt.Cores <= 16 {
-				short = append(short, pt)
-			}
-		}
-		pts = short
+	pts := shortPoints()
+	if *updateGolden {
+		pts = GoldenPoints()
 	}
 	got := GoldenTable(Options{}, pts)
 
@@ -48,30 +93,26 @@ func TestGoldenConformance(t *testing.T) {
 		return
 	}
 
-	raw, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("no golden file (generate with -update-golden): %v", err)
-	}
-	want := make(map[string]string)
-	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
-		id, _, _ := strings.Cut(line, "\t")
-		want[id] = line
-	}
-	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
-		id, _, _ := strings.Cut(line, "\t")
-		wantLine, ok := want[id]
-		if !ok {
-			t.Errorf("%s: not in golden file (regenerate with -update-golden)", id)
-			continue
-		}
-		if line != wantLine {
-			t.Errorf("%s: metrics diverged from golden\n got: %s\nwant: %s", id, line, wantLine)
-		}
-	}
+	want := loadGolden(t)
+	compareToGolden(t, want, strings.Split(strings.TrimRight(got, "\n"), "\n"), "task")
 	if !testing.Short() && len(want) != len(GoldenPoints()) {
 		t.Errorf("golden file has %d points, matrix has %d (regenerate with -update-golden)",
 			len(want), len(GoldenPoints()))
 	}
+}
+
+// TestGoldenBlockingEquivalence re-runs the conformance matrix with
+// blocking workload threads (the reference execution mode) and asserts
+// every line matches the committed golden file byte for byte. Together
+// with TestGoldenConformance — which runs the default continuation mode —
+// this proves end to end that the two workload execution modes are
+// bit-identical on every pinned metric and protocol counter. In -short
+// mode only the 16-core half runs, like the conformance test.
+func TestGoldenBlockingEquivalence(t *testing.T) {
+	pts := shortPoints()
+	lines := make([]string, len(pts))
+	ForEach(0, len(pts), func(i int) { lines[i] = GoldenRunExec(pts[i], kernels.ExecThread) })
+	compareToGolden(t, loadGolden(t), lines, "blocking")
 }
 
 // TestGoldenTableWorkerInvariant asserts the golden matrix itself is

@@ -68,6 +68,11 @@ func (r CASResult) String() string {
 // the kernels use no locks or barriers, so the other configurations are
 // redundant — but any configuration can be passed.
 func CASKernel(cfg config.Config, kind CASKind, csInstr int, duration sim.Time) CASResult {
+	return CASKernelExec(cfg, kind, csInstr, duration, ExecTask)
+}
+
+// CASKernelExec is CASKernel with an explicit execution mode.
+func CASKernelExec(cfg config.Config, kind CASKind, csInstr int, duration sim.Time, exec Exec) CASResult {
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
 	// Shared pointers. FIFO has distinct head and tail; LIFO and ADD hit
@@ -82,54 +87,111 @@ func CASKernel(cfg config.Config, kind CASKind, csInstr int, duration sim.Time) 
 		nodeLines[i] = m.AllocLine()
 	}
 	var successes, failures uint64
-	m.SpawnAll(func(t *core.Thread) {
-		rng := sim.NewRand(uint64(t.Core)*2654435761 + cfg.Seed + uint64(kind)*7919)
-		// Stagger thread starts across one work period and jitter each
-		// period by +-12%, or the threads arrive at the shared pointer
-		// in lockstep convoys that no real system exhibits.
-		t.Instr(rng.Intn(csInstr + 1))
-		op := 0
-		for {
-			t.Instr(csInstr - csInstr/8 + rng.Intn(csInstr/4+1))
-			// Pick the target pointer: FIFO alternates enqueue
-			// (tail) and dequeue (head); LIFO/ADD use one pointer.
-			v := vars[0]
-			if kind == FIFO && op%2 == 1 {
-				v = vars[1]
-			}
-			op++
-			// Prepare the private node. ADD builds a full node from
-			// the pool each time; LIFO's pop half and FIFO's dequeue
-			// half touch less private state.
-			t.Write(nodeLines[t.Core], rng.Uint64())
-			switch {
-			case kind == ADD:
-				t.Instr(8)
-			case op%2 == 1:
-				t.Instr(2)
-			default:
-				t.Instr(4)
-			}
-			// Lock-free update loop with standard exponential backoff
-			// on failure. Without backoff a deep retry queue is a
-			// stable congestion attractor: every queued CAS is stale
-			// by the time it is granted, and throughput collapses to
-			// one success per queue rotation.
-			backoff := 8
+	threadRand := func(core int) *sim.Rand {
+		return sim.NewRand(uint64(core)*2654435761 + cfg.Seed + uint64(kind)*7919)
+	}
+	if exec == ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			rng := threadRand(t.Core)
+			// Stagger thread starts across one work period and jitter each
+			// period by +-12%, or the threads arrive at the shared pointer
+			// in lockstep convoys that no real system exhibits.
+			t.Instr(rng.Intn(csInstr + 1))
+			op := 0
 			for {
-				old := v.Load(t)
-				if v.CAS(t, old, old+1) {
-					successes++
-					break
+				t.Instr(csInstr - csInstr/8 + rng.Intn(csInstr/4+1))
+				// Pick the target pointer: FIFO alternates enqueue
+				// (tail) and dequeue (head); LIFO/ADD use one pointer.
+				v := vars[0]
+				if kind == FIFO && op%2 == 1 {
+					v = vars[1]
 				}
-				failures++
-				t.Instr(backoff + rng.Intn(backoff))
-				if backoff < 2048 {
-					backoff *= 2
+				op++
+				// Prepare the private node. ADD builds a full node from
+				// the pool each time; LIFO's pop half and FIFO's dequeue
+				// half touch less private state.
+				t.Write(nodeLines[t.Core], rng.Uint64())
+				switch {
+				case kind == ADD:
+					t.Instr(8)
+				case op%2 == 1:
+					t.Instr(2)
+				default:
+					t.Instr(4)
+				}
+				// Lock-free update loop with standard exponential backoff
+				// on failure. Without backoff a deep retry queue is a
+				// stable congestion attractor: every queued CAS is stale
+				// by the time it is granted, and throughput collapses to
+				// one success per queue rotation.
+				backoff := 8
+				for {
+					old := v.Load(t)
+					if v.CAS(t, old, old+1) {
+						successes++
+						break
+					}
+					failures++
+					t.Instr(backoff + rng.Intn(backoff))
+					if backoff < 2048 {
+						backoff *= 2
+					}
 				}
 			}
+		})
+	} else {
+		tvars := make([]syncprims.TaskVar, len(vars))
+		for i, v := range vars {
+			tvars[i] = syncprims.AsTaskVar(v)
 		}
-	})
+		m.SpawnAllTasks(func(t *core.Task) {
+			rng := threadRand(t.Core)
+			t.Instr(rng.Intn(csInstr + 1))
+			op := 0
+			var period func()
+			period = func() {
+				// This loop never finishes: RunUntil's horizon cuts the
+				// run, exactly as it kills the blocking threads.
+				t.Instr(csInstr - csInstr/8 + rng.Intn(csInstr/4+1))
+				v := tvars[0]
+				if kind == FIFO && op%2 == 1 {
+					v = tvars[1]
+				}
+				op++
+				t.Write(nodeLines[t.Core], rng.Uint64(), func() {
+					switch {
+					case kind == ADD:
+						t.Instr(8)
+					case op%2 == 1:
+						t.Instr(2)
+					default:
+						t.Instr(4)
+					}
+					backoff := 8
+					var attempt func()
+					attempt = func() {
+						v.LoadTask(t, func(old uint64) {
+							v.CASTask(t, old, old+1, func(ok bool) {
+								if ok {
+									successes++
+									period()
+									return
+								}
+								failures++
+								t.Instr(backoff + rng.Intn(backoff))
+								if backoff < 2048 {
+									backoff *= 2
+								}
+								attempt()
+							})
+						})
+					}
+					attempt()
+				})
+			}
+			period()
+		})
+	}
 	if err := m.RunUntil(duration); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/config"
+)
+
+// The equivalence suite proves the continuation-form (ExecTask) kernels
+// are bit-identical to their blocking (ExecThread) twins: every reported
+// metric and every mem/net/MAC protocol counter must match exactly, across
+// seeds and all four architectures. Together with the golden-conformance
+// suite in package harness (whose committed file predates the conversion),
+// this pins that the task rewrite moved no simulated result.
+
+var equivSeeds = []uint64{1, 42}
+
+// equivConfigs enumerates the (kind, seed) matrix at 16 cores — small
+// enough to run under -race in the short CI job, while still exercising
+// every synchronization substrate.
+func equivConfigs() []config.Config {
+	var cfgs []config.Config
+	for _, k := range config.Kinds {
+		for _, seed := range equivSeeds {
+			cfgs = append(cfgs, config.New(k, 16).WithSeed(seed))
+		}
+	}
+	return cfgs
+}
+
+// mustEqual asserts two kernel results (any printable struct) match
+// field-for-field.
+func mustEqual(t *testing.T, what string, cfg config.Config, thread, task any) {
+	t.Helper()
+	a, b := fmt.Sprintf("%+v", thread), fmt.Sprintf("%+v", task)
+	if a != b {
+		t.Errorf("%s on %v/%dc seed %d: thread and task execution diverged\nthread: %s\n  task: %s",
+			what, cfg.Kind, cfg.Cores, cfg.Seed, a, b)
+	}
+}
+
+func TestTightLoopExecEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		mustEqual(t, "tightloop", cfg,
+			TightLoopExec(cfg, 6, ExecThread),
+			TightLoopExec(cfg, 6, ExecTask))
+	}
+}
+
+func TestLivermore2ExecEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		rThread, xThread := Livermore2Exec(cfg, 48, 1, ExecThread)
+		rTask, xTask := Livermore2Exec(cfg, 48, 1, ExecTask)
+		mustEqual(t, "livermore2", cfg, rThread, rTask)
+		mustEqual(t, "livermore2 vector", cfg, xThread, xTask)
+	}
+}
+
+func TestLivermore3ExecEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		rThread, sThread := Livermore3Exec(cfg, 96, 2, ExecThread)
+		rTask, sTask := Livermore3Exec(cfg, 96, 2, ExecTask)
+		mustEqual(t, "livermore3", cfg, rThread, rTask)
+		if sThread != sTask {
+			t.Errorf("livermore3 on %v seed %d: inner product %v vs %v", cfg.Kind, cfg.Seed, sThread, sTask)
+		}
+	}
+}
+
+func TestLivermore6ExecEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		rThread, wThread := Livermore6Exec(cfg, 24, ExecThread)
+		rTask, wTask := Livermore6Exec(cfg, 24, ExecTask)
+		mustEqual(t, "livermore6", cfg, rThread, rTask)
+		mustEqual(t, "livermore6 vector", cfg, wThread, wTask)
+	}
+}
+
+func TestCASKernelExecEquivalence(t *testing.T) {
+	// All three CAS kinds: the FIFO/LIFO/ADD kernels drive the CAS/backoff
+	// retry loop — the contended-update path — under an open-ended
+	// RunUntil horizon.
+	for _, kind := range []CASKind{FIFO, LIFO, ADD} {
+		for _, cfg := range equivConfigs() {
+			mustEqual(t, fmt.Sprintf("cas-%v", kind), cfg,
+				CASKernelExec(cfg, kind, 128, 8000, ExecThread),
+				CASKernelExec(cfg, kind, 128, 8000, ExecTask))
+		}
+	}
+}
+
+// TestExecEquivalenceLargerPoint spot-checks one bigger configuration per
+// kernel family (64 cores), where contention storms and MAC arbitration
+// are qualitatively different from the 16-core matrix. Skipped in -short
+// mode; the 16-core matrix above still runs there (and under -race).
+func TestExecEquivalenceLargerPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core equivalence points")
+	}
+	for _, k := range []config.Kind{config.Baseline, config.WiSync} {
+		cfg := config.New(k, 64)
+		mustEqual(t, "tightloop", cfg,
+			TightLoopExec(cfg, 8, ExecThread),
+			TightLoopExec(cfg, 8, ExecTask))
+		mustEqual(t, "cas-fifo", cfg,
+			CASKernelExec(cfg, FIFO, 128, 20000, ExecThread),
+			CASKernelExec(cfg, FIFO, 128, 20000, ExecTask))
+	}
+}

@@ -76,6 +76,24 @@ func (r Result) String() string {
 // wordsPerLine is how many 64-bit elements share a cache line.
 const wordsPerLine = mem.LineBytes / 8
 
+// Exec selects the workload-thread execution mode of a kernel run. Both
+// modes produce bit-identical simulated results (pinned by the equivalence
+// suite in this package and the golden-conformance suite in package
+// harness); they differ only in simulator wall-clock cost.
+type Exec int
+
+const (
+	// ExecTask runs workload threads in continuation form (core.Task):
+	// the whole sweep point executes on the engine goroutine with zero
+	// process switches. This is the default — and the fast path.
+	ExecTask Exec = iota
+	// ExecThread runs workload threads as blocking goroutines
+	// (core.Thread), one Go-scheduler park/unpark per forced suspension.
+	// Kept as the readable reference implementation and the equivalence
+	// baseline.
+	ExecThread
+)
+
 // readRange charges cache accesses for a sequential sweep over elements
 // [lo, hi) of the array starting at base, plus instrs per element of
 // computation.
@@ -91,11 +109,40 @@ func readRange(t *core.Thread, base uint64, lo, hi, instrsPerElem int) {
 	t.Instr((hi - lo) * instrsPerElem)
 }
 
+// readRangeTask is readRange in continuation form: the same line reads in
+// the same order, then the same instruction charge, then `then`.
+func readRangeTask(t *core.Task, base uint64, lo, hi, instrsPerElem int, then func()) {
+	if hi <= lo {
+		then()
+		return
+	}
+	a := (base + uint64(lo)*8) &^ (mem.LineBytes - 1)
+	last := base + uint64(hi-1)*8
+	var step func()
+	onRead := func(uint64) { step() }
+	step = func() {
+		if a > last {
+			t.Instr((hi - lo) * instrsPerElem)
+			then()
+			return
+		}
+		addr := a
+		a += mem.LineBytes
+		t.Read(addr, onRead)
+	}
+	step()
+}
+
 // TightLoop runs the paper's TightLoop kernel (Section 6): every thread
 // sums a 50-element private array into a local variable, then synchronizes
 // at a global barrier, repeated iters times. It reports cycles/iteration —
 // the Figure 7 metric.
 func TightLoop(cfg config.Config, iters int) Result {
+	return TightLoopExec(cfg, iters, ExecTask)
+}
+
+// TightLoopExec is TightLoop with an explicit execution mode.
+func TightLoopExec(cfg config.Config, iters int, exec Exec) Result {
 	const elems = 50
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
@@ -105,15 +152,34 @@ func TightLoop(cfg config.Config, iters int) Result {
 	for i := range arrays {
 		arrays[i] = m.AllocArray(elems)
 	}
-	m.SpawnAll(func(t *core.Thread) {
-		for it := 0; it < iters; it++ {
-			// Sum the private array: 2 instructions (load+add) per
-			// element on the 2-issue core, one line fetch per 8
-			// elements (L1 hits after the first iteration).
-			readRange(t, arrays[t.Core], 0, elems, 2)
-			b.Wait(t)
-		}
-	})
+	if exec == ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			for it := 0; it < iters; it++ {
+				// Sum the private array: 2 instructions (load+add) per
+				// element on the 2-issue core, one line fetch per 8
+				// elements (L1 hits after the first iteration).
+				readRange(t, arrays[t.Core], 0, elems, 2)
+				b.Wait(t)
+			}
+		})
+	} else {
+		tb := syncprims.AsTaskBarrier(b)
+		m.SpawnAllTasks(func(t *core.Task) {
+			it := 0
+			var iter func()
+			iter = func() {
+				if it == iters {
+					t.Finish()
+					return
+				}
+				it++
+				readRangeTask(t, arrays[t.Core], 0, elems, 2, func() {
+					tb.WaitTask(t, iter)
+				})
+			}
+			iter()
+		})
+	}
 	if err := m.Run(); err != nil {
 		panic(err)
 	}

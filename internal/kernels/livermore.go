@@ -13,6 +13,11 @@ import (
 // the result vector alongside timing so tests can validate against the
 // sequential reference.
 func Livermore2(cfg config.Config, n int, passes int) (Result, []float64) {
+	return Livermore2Exec(cfg, n, passes, ExecTask)
+}
+
+// Livermore2Exec is Livermore2 with an explicit execution mode.
+func Livermore2Exec(cfg config.Config, n int, passes int, exec Exec) (Result, []float64) {
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
 	b := f.NewBarrier(nil)
@@ -26,40 +31,102 @@ func Livermore2(cfg config.Config, n int, passes int) (Result, []float64) {
 	// element's read index, so in-place parallel updates would race; this
 	// is the data alignment step of Sampson et al. [37]).
 	staged := make([][]float64, cfg.Cores)
-	m.SpawnAll(func(t *core.Thread) {
-		for pass := 0; pass < passes; pass++ {
-			ii := n
-			ipntp := 0
-			for ii > 1 {
-				ipnt := ipntp
+
+	// stage computes this thread's slice of the wavefront [lo, hi) of
+	// ipnt into the staging buffer — the functional half, shared by both
+	// execution modes.
+	stage := func(core, ipnt, lo, hi int) {
+		staged[core] = staged[core][:0]
+		for e := lo; e < hi; e++ {
+			k := ipnt + 1 + 2*e
+			staged[core] = append(staged[core],
+				x[k]-v[k]*x[k-1]-v[k+1]*x[k+1])
+		}
+	}
+	// publish copies the staged slice into x after the barrier.
+	publish := func(core, ipntp, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			x[ipntp+e] = staged[core][e-lo]
+		}
+	}
+
+	if exec == ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			for pass := 0; pass < passes; pass++ {
+				ii := n
+				ipntp := 0
+				for ii > 1 {
+					ipnt := ipntp
+					ipntp += ii
+					ii /= 2
+					// Elements k = ipnt+1, ipnt+3, ... (ii of them);
+					// writes land at i = ipntp, ipntp+1, ...
+					lo, hi := chunk(ii, t.Core, cfg.Cores)
+					stage(t.Core, ipnt, lo, hi)
+					// Timing: reads of x and v over the strided range,
+					// ~8 instructions per element.
+					if hi > lo {
+						readRange(t, xBase, ipnt+2*lo, ipnt+2*hi, 4)
+						readRange(t, vBase, ipnt+2*lo, ipnt+2*hi, 4)
+					}
+					b.Wait(t)
+					publish(t.Core, ipntp, lo, hi)
+					if hi > lo {
+						readRange(t, xBase, ipntp+lo, ipntp+hi, 1)
+					}
+					b.Wait(t)
+				}
+			}
+		})
+	} else {
+		tb := syncprims.AsTaskBarrier(b)
+		m.SpawnAllTasks(func(t *core.Task) {
+			pass, ii, ipnt, ipntp, lo, hi := 0, 0, 0, 0, 0, 0
+			var startPass, wave, afterStage func()
+			startPass = func() {
+				if pass == passes {
+					t.Finish()
+					return
+				}
+				pass++
+				ii = n
+				ipntp = 0
+				wave()
+			}
+			wave = func() {
+				if ii <= 1 {
+					startPass()
+					return
+				}
+				ipnt = ipntp
 				ipntp += ii
 				ii /= 2
-				// Elements k = ipnt+1, ipnt+3, ... (ii of them);
-				// writes land at i = ipntp, ipntp+1, ...
-				lo, hi := chunk(ii, t.Core, cfg.Cores)
-				staged[t.Core] = staged[t.Core][:0]
-				for e := lo; e < hi; e++ {
-					k := ipnt + 1 + 2*e
-					staged[t.Core] = append(staged[t.Core],
-						x[k]-v[k]*x[k-1]-v[k+1]*x[k+1])
-				}
-				// Timing: reads of x and v over the strided range,
-				// ~8 instructions per element.
+				lo, hi = chunk(ii, t.Core, cfg.Cores)
+				stage(t.Core, ipnt, lo, hi)
 				if hi > lo {
-					readRange(t, xBase, ipnt+2*lo, ipnt+2*hi, 4)
-					readRange(t, vBase, ipnt+2*lo, ipnt+2*hi, 4)
+					rlo, rhi := ipnt+2*lo, ipnt+2*hi
+					readRangeTask(t, xBase, rlo, rhi, 4, func() {
+						readRangeTask(t, vBase, rlo, rhi, 4, func() {
+							tb.WaitTask(t, afterStage)
+						})
+					})
+					return
 				}
-				b.Wait(t)
-				for e := lo; e < hi; e++ {
-					x[ipntp+e] = staged[t.Core][e-lo]
-				}
-				if hi > lo {
-					readRange(t, xBase, ipntp+lo, ipntp+hi, 1)
-				}
-				b.Wait(t)
+				tb.WaitTask(t, afterStage)
 			}
-		}
-	})
+			afterStage = func() {
+				publish(t.Core, ipntp, lo, hi)
+				if hi > lo {
+					readRangeTask(t, xBase, ipntp+lo, ipntp+hi, 1, func() {
+						tb.WaitTask(t, wave)
+					})
+					return
+				}
+				tb.WaitTask(t, wave)
+			}
+			startPass()
+		})
+	}
 	if err := m.Run(); err != nil {
 		panic(err)
 	}
@@ -71,6 +138,11 @@ func Livermore2(cfg config.Config, n int, passes int) (Result, []float64) {
 // (fetch&add on the Broadcast Memory for WiSync; a coherent RMW for the
 // wired machines) and a barrier closes each pass.
 func Livermore3(cfg config.Config, n int, passes int) (Result, float64) {
+	return Livermore3Exec(cfg, n, passes, ExecTask)
+}
+
+// Livermore3Exec is Livermore3 with an explicit execution mode.
+func Livermore3Exec(cfg config.Config, n int, passes int, exec Exec) (Result, float64) {
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
 	b := f.NewBarrier(nil)
@@ -81,23 +153,52 @@ func Livermore3(cfg config.Config, n int, passes int) (Result, float64) {
 	xBase := m.AllocArray(n)
 	partials := make([]float64, cfg.Cores)
 
-	m.SpawnAll(func(t *core.Thread) {
-		lo, hi := chunk(n, t.Core, cfg.Cores)
-		for pass := 0; pass < passes; pass++ {
-			var q float64
-			for k := lo; k < hi; k++ {
-				q += z[k] * xv[k]
+	if exec == ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			lo, hi := chunk(n, t.Core, cfg.Cores)
+			for pass := 0; pass < passes; pass++ {
+				var q float64
+				for k := lo; k < hi; k++ {
+					q += z[k] * xv[k]
+				}
+				partials[t.Core] = q
+				readRange(t, zBase, lo, hi, 1)
+				readRange(t, xBase, lo, hi, 1)
+				// The reduction variable carries the partial count in
+				// fixed point; the functional sum is mirrored in
+				// partials.
+				red.Add(t, uint64(int64(q)))
+				b.Wait(t)
 			}
-			partials[t.Core] = q
-			readRange(t, zBase, lo, hi, 1)
-			readRange(t, xBase, lo, hi, 1)
-			// The reduction variable carries the partial count in
-			// fixed point; the functional sum is mirrored in
-			// partials.
-			red.Add(t, uint64(int64(q)))
-			b.Wait(t)
-		}
-	})
+		})
+	} else {
+		tb := syncprims.AsTaskBarrier(b)
+		m.SpawnAllTasks(func(t *core.Task) {
+			lo, hi := chunk(n, t.Core, cfg.Cores)
+			pass := 0
+			var iter func()
+			iter = func() {
+				if pass == passes {
+					t.Finish()
+					return
+				}
+				pass++
+				var q float64
+				for k := lo; k < hi; k++ {
+					q += z[k] * xv[k]
+				}
+				partials[t.Core] = q
+				readRangeTask(t, zBase, lo, hi, 1, func() {
+					readRangeTask(t, xBase, lo, hi, 1, func() {
+						red.AddTask(t, uint64(int64(q)), func() {
+							tb.WaitTask(t, iter)
+						})
+					})
+				})
+			}
+			iter()
+		})
+	}
 	if err := m.Run(); err != nil {
 		panic(err)
 	}
@@ -114,6 +215,11 @@ func Livermore3(cfg config.Config, n int, passes int) (Result, float64) {
 // This is the kernel where Baseline+ approaches WiSync at large n (Figure
 // 8(c)/(f)): the loop body eventually dominates.
 func Livermore6(cfg config.Config, n int) (Result, []float64) {
+	return Livermore6Exec(cfg, n, ExecTask)
+}
+
+// Livermore6Exec is Livermore6 with an explicit execution mode.
+func Livermore6Exec(cfg config.Config, n int, exec Exec) (Result, []float64) {
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
 	b := f.NewBarrier(nil)
@@ -123,34 +229,82 @@ func Livermore6(cfg config.Config, n int) (Result, []float64) {
 	bBase := m.AllocArray(n * 8)
 	partials := make([]float64, cfg.Cores)
 
-	m.SpawnAll(func(t *core.Thread) {
-		for i := 1; i < n; i++ {
-			lo, hi := chunk(i, t.Core, cfg.Cores)
-			var acc float64
-			for k := lo; k < hi; k++ {
-				acc += bm[(k*7+i)%(n*8)] * w[i-k-1]
-			}
-			partials[t.Core] = acc
-			if hi > lo {
-				// b(k,i) and w(i-k-1) sweeps.
-				readRange(t, bBase, lo, hi, 2)
-				readRange(t, wBase, i-hi, i-lo, 2)
-			}
-			b.Wait(t)
-			if t.Core == 0 {
-				var s float64
-				for _, p := range partials {
-					s += p
-				}
-				for c := range partials {
-					partials[c] = 0
-				}
-				w[i] += s
-				t.Write(wBase+uint64(i)*8, 0)
-			}
-			b.Wait(t)
+	// accumulate computes this thread's partial of step i; reduce is the
+	// serial core-0 section between the two barriers. Shared by both
+	// execution modes.
+	accumulate := func(core, i, lo, hi int) {
+		var acc float64
+		for k := lo; k < hi; k++ {
+			acc += bm[(k*7+i)%(n*8)] * w[i-k-1]
 		}
-	})
+		partials[core] = acc
+	}
+	reduce := func(i int) {
+		var s float64
+		for _, p := range partials {
+			s += p
+		}
+		for c := range partials {
+			partials[c] = 0
+		}
+		w[i] += s
+	}
+
+	if exec == ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			for i := 1; i < n; i++ {
+				lo, hi := chunk(i, t.Core, cfg.Cores)
+				accumulate(t.Core, i, lo, hi)
+				if hi > lo {
+					// b(k,i) and w(i-k-1) sweeps.
+					readRange(t, bBase, lo, hi, 2)
+					readRange(t, wBase, i-hi, i-lo, 2)
+				}
+				b.Wait(t)
+				if t.Core == 0 {
+					reduce(i)
+					t.Write(wBase+uint64(i)*8, 0)
+				}
+				b.Wait(t)
+			}
+		})
+	} else {
+		tb := syncprims.AsTaskBarrier(b)
+		m.SpawnAllTasks(func(t *core.Task) {
+			i := 1
+			var step, serial, next func()
+			step = func() {
+				if i >= n {
+					t.Finish()
+					return
+				}
+				lo, hi := chunk(i, t.Core, cfg.Cores)
+				accumulate(t.Core, i, lo, hi)
+				if hi > lo {
+					rl, rh, wl, wh := lo, hi, i-hi, i-lo
+					readRangeTask(t, bBase, rl, rh, 2, func() {
+						readRangeTask(t, wBase, wl, wh, 2, func() {
+							tb.WaitTask(t, serial)
+						})
+					})
+					return
+				}
+				tb.WaitTask(t, serial)
+			}
+			serial = func() {
+				if t.Core == 0 {
+					reduce(i)
+					t.Write(wBase+uint64(i)*8, 0, func() {
+						tb.WaitTask(t, next)
+					})
+					return
+				}
+				tb.WaitTask(t, next)
+			}
+			next = func() { i++; step() }
+			step()
+		})
+	}
 	if err := m.Run(); err != nil {
 		panic(err)
 	}

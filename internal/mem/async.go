@@ -1,0 +1,74 @@
+package mem
+
+// This file is the continuation-form face of the memory system: each
+// public blocking operation in txn.go has an async variant that takes a
+// completion callback instead of a requesting process. Both faces share
+// the same txn state machine and the same dense line store, and consume
+// event sequence numbers at identical execution points, so a workload may
+// use either without moving a simulated result (see the sim package
+// comment's execution-model section; the golden-conformance suite pins the
+// equivalence end to end).
+
+// ReadAsync is the continuation mirror of Read: then receives the loaded
+// value at the cycle Read would have returned.
+func (s *System) ReadAsync(core int, addr uint64, then func(uint64)) {
+	line := Line(addr)
+	c := &s.l1[core]
+	if sl := c.lookup(s.setsMask(), line); sl != nil {
+		s.Stats.L1Hits++
+		s.eng.SleepThen(s.p.L1RT, func() { then(s.wordAt(addr)) })
+		return
+	}
+	s.Stats.L1Misses++
+	s.transactAsync(core, line, addr, nil, then)
+}
+
+// WriteAsync is the continuation mirror of Write.
+func (s *System) WriteAsync(core int, addr uint64, val uint64, then func()) {
+	s.RMWAsync(core, addr, func(uint64) (uint64, bool) { return val, true },
+		func(uint64) { then() })
+}
+
+// RMWAsync is the continuation mirror of RMW: then receives the value f
+// observed, at the cycle RMW would have returned.
+func (s *System) RMWAsync(core int, addr uint64, f func(uint64) (uint64, bool), then func(uint64)) {
+	line := Line(addr)
+	c := &s.l1[core]
+	if sl := c.lookup(s.setsMask(), line); sl != nil && (sl.state == Modified || sl.state == Exclusive) {
+		// Exclusive hit: linearize now, exactly as the blocking form does
+		// (see RMW), and deliver the old value after the L1 latency.
+		s.Stats.L1Hits++
+		sl.state = Modified
+		le := s.lines.fetch(line)
+		old := le.words[wordIdx(addr)]
+		if nv, do := f(old); do {
+			le.words[wordIdx(addr)] = nv
+		}
+		s.eng.SleepThen(s.p.L1RT, func() { then(old) })
+		return
+	}
+	s.Stats.L1Misses++
+	s.transactAsync(core, line, addr, f, then)
+}
+
+// SpinUntilAsync is the continuation mirror of SpinUntil: it re-reads addr
+// on every invalidation of the locally cached line, with no traffic in
+// between, until cond holds; then receives the satisfying value.
+func (s *System) SpinUntilAsync(core int, addr uint64, cond func(uint64) bool, then func(uint64)) {
+	line := Line(addr)
+	c := &s.l1[core]
+	var onVal func(uint64)
+	respin := func() { s.ReadAsync(core, addr, onVal) }
+	onVal = func(v uint64) {
+		if cond(v) {
+			then(v)
+			return
+		}
+		if sl := c.lookup(s.setsMask(), line); sl == nil {
+			respin() // already invalidated again; re-read
+			return
+		}
+		c.spinQueue(line).WaitFn(s.eng, respin)
+	}
+	respin()
+}

@@ -40,7 +40,7 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	for line, hs := range holders {
-		d := s.dir[line]
+		d := s.dirAt(line)
 		if d == nil {
 			return fmt.Errorf("mem: line %#x cached but has no directory entry", line)
 		}

@@ -159,22 +159,40 @@ type l1slot struct {
 }
 
 type l1cache struct {
-	sets    [][]l1slot // MRU-first
-	waiters map[uint64]*sim.WaitQueue
-	// epochs counts invalidations per line; an in-flight refill whose
-	// line was invalidated after the directory released it must not
-	// install a stale copy.
-	epochs map[uint64]uint64
+	sets [][]l1slot // MRU-first
+	// st holds the per-line side state: spin waiters, and the epoch
+	// counting invalidations per line — an in-flight refill whose line
+	// was invalidated after the directory released it must not install a
+	// stale copy.
+	st pagedStore[l1line]
+}
+
+// epoch returns the invalidation epoch for line (0 if never invalidated).
+func (c *l1cache) epoch(line uint64) uint64 {
+	if le := c.st.get(line); le != nil {
+		return le.epoch
+	}
+	return 0
+}
+
+// spinQueue returns line's spin-waiter queue, creating it on first use.
+func (c *l1cache) spinQueue(line uint64) *sim.WaitQueue {
+	le := c.st.fetch(line)
+	if le.waiters == nil {
+		le.waiters = &sim.WaitQueue{}
+	}
+	return le.waiters
 }
 
 // System is the wired coherent memory hierarchy.
 type System struct {
-	eng   *sim.Engine
-	mesh  *noc.Mesh
-	p     Params
-	l1    []l1cache
-	dir   map[uint64]*dirLine
-	words map[uint64]uint64
+	eng  *sim.Engine
+	mesh *noc.Mesh
+	p    Params
+	l1   []l1cache
+	// lines is the paged dense store of per-line word values and
+	// directory entries (see store.go).
+	lines pagedStore[lineEntry]
 	mc    [4]sim.AsyncResource
 	// txnFree recycles transaction state machines; the engine is single-
 	// threaded, so a plain freelist suffices and steady-state transactions
@@ -203,19 +221,22 @@ func New(eng *sim.Engine, mesh *noc.Mesh, p Params) *System {
 		panic("mem: more than 256 cores not supported")
 	}
 	s := &System{
-		eng:   eng,
-		mesh:  mesh,
-		p:     p,
-		l1:    make([]l1cache, p.Cores),
-		dir:   make(map[uint64]*dirLine),
-		words: make(map[uint64]uint64),
+		eng:  eng,
+		mesh: mesh,
+		p:    p,
+		l1:   make([]l1cache, p.Cores),
 	}
+	// A fresh directory entry has no owner; page-granular initialization
+	// keeps the per-entry cost off the lookup path. Page geometry trades
+	// first-touch zeroing (machines are built per sweep point) against
+	// table size: the global line store carries ~180 B entries on pages
+	// of 128; the per-core side stores carry 16 B entries on pages of 64,
+	// since they are replicated Cores times.
+	s.lines.init = func(le *lineEntry) { le.dir.owner = -1 }
+	s.lines.shift = 7
 	for i := range s.l1 {
-		s.l1[i] = l1cache{
-			sets:    make([][]l1slot, p.L1Sets),
-			waiters: make(map[uint64]*sim.WaitQueue),
-			epochs:  make(map[uint64]uint64),
-		}
+		s.l1[i] = l1cache{sets: make([][]l1slot, p.L1Sets)}
+		s.l1[i].st.shift = 6
 	}
 	return s
 }
@@ -230,12 +251,30 @@ func Line(addr uint64) uint64 { return addr >> LineShift }
 func (s *System) home(line uint64) int { return int(line % uint64(s.p.Cores)) }
 
 func (s *System) dirFor(line uint64) *dirLine {
-	d, ok := s.dir[line]
-	if !ok {
-		d = &dirLine{owner: -1}
-		s.dir[line] = d
+	return &s.lines.fetch(line).dir
+}
+
+// dirAt returns line's directory entry, or nil if the line was never
+// touched (for invariant checks).
+func (s *System) dirAt(line uint64) *dirLine {
+	if le := s.lines.get(line); le != nil {
+		return &le.dir
 	}
-	return d
+	return nil
+}
+
+// wordAt reads the committed value of the word at addr (0 if never
+// written).
+func (s *System) wordAt(addr uint64) uint64 {
+	if le := s.lines.get(Line(addr)); le != nil {
+		return le.words[wordIdx(addr)]
+	}
+	return 0
+}
+
+// setWord writes the committed value of the word at addr.
+func (s *System) setWord(addr, val uint64) {
+	s.lines.fetch(Line(addr)).words[wordIdx(addr)] = val
 }
 
 // lookup finds the L1 slot for line in core's cache, moving it to MRU.

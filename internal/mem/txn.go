@@ -16,7 +16,7 @@ func (s *System) Read(p *sim.Proc, core int, addr uint64) uint64 {
 	if sl := c.lookup(s.setsMask(), line); sl != nil {
 		s.Stats.L1Hits++
 		p.Sleep(s.p.L1RT)
-		return s.words[addr]
+		return s.wordAt(addr)
 	}
 	s.Stats.L1Misses++
 	v, _ := s.transact(p, core, line, addr, nil)
@@ -47,9 +47,10 @@ func (s *System) RMW(p *sim.Proc, core int, addr uint64, f func(uint64) (uint64,
 		// value, or a spinner can sample stale data and sleep forever.
 		s.Stats.L1Hits++
 		sl.state = Modified
-		old := s.words[addr]
+		le := s.lines.fetch(line)
+		old := le.words[wordIdx(addr)]
 		if nv, do := f(old); do {
-			s.words[addr] = nv
+			le.words[wordIdx(addr)] = nv
 		}
 		p.Sleep(s.p.L1RT)
 		return old
@@ -79,14 +80,25 @@ func (s *System) transact(p *sim.Proc, core int, line uint64, addr uint64, f fun
 	t := s.startTxn(p, core, line, addr, f)
 	p.Park("mem txn")
 	old, grant := t.old, t.grant
-	if grant != Invalid && s.l1[core].epochs[line] == t.epoch {
-		s.fill(p, core, line, grant)
+	if grant != Invalid && s.l1[core].epoch(line) == t.epoch {
+		s.fill(core, line, grant)
 		if s.Trace != nil {
 			s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
 		}
 	}
 	s.freeTxn(t)
 	return old, grant
+}
+
+// transactAsync is the continuation mirror of transact: the requester is a
+// completion callback instead of a parked process. done runs as an engine
+// event at exactly the (time, priority, sequence) position where transact's
+// parked process would have been dispatched, after the requester-side fill
+// bookkeeping — so the two requester styles are interchangeable without
+// affecting simulated results.
+func (s *System) transactAsync(core int, line uint64, addr uint64, f func(uint64) (uint64, bool), done func(uint64)) {
+	t := s.startTxn(nil, core, line, addr, f)
+	t.done = done
 }
 
 // txnStep selects the statement block a transaction continuation executes
@@ -116,10 +128,13 @@ const (
 // continuation chain. Each suspension of the old blocking form (request
 // flight, settle wait, controller occupancy, hold, reply flight) is one
 // scheduled firing of step; the requester sleeps through all of them and
-// is dispatched once, by serve.
+// is resumed once, by serve. Exactly one of p and done is set: p is a
+// blocking requester parked in transact, done the completion callback of a
+// transactAsync.
 type txn struct {
 	s    *System
-	p    *sim.Proc // requester, parked in transact until the reply arrives
+	p    *sim.Proc    // blocking requester, parked until the reply arrives
+	done func(uint64) // continuation requester, run by fin at the reply
 	core int
 	line uint64
 	addr uint64
@@ -130,6 +145,7 @@ type txn struct {
 	state txnStep
 	next  txnStep // continuation after the memory-fetch sub-chain
 	step  func()  // cached method value of run; scheduled for every event
+	fin   func()  // cached method value of finish, the async reply event
 
 	rmwNew     uint64
 	noWriteRMW bool
@@ -166,12 +182,30 @@ func (s *System) newTxn() *txn {
 	}
 	t := &txn{s: s}
 	t.step = t.run
+	t.fin = t.finish
 	return t
 }
 
 func (s *System) freeTxn(t *txn) {
-	t.p, t.f, t.d = nil, nil, nil
+	t.p, t.done, t.f, t.d = nil, nil, nil, nil
 	s.txnFree = append(s.txnFree, t)
+}
+
+// finish is the async requester's reply event: it runs the same
+// requester-side epilogue transact performs after its process is
+// dispatched — reject-or-install the fill, recycle the transaction — and
+// then hands the observed value to the completion callback.
+func (t *txn) finish() {
+	s := t.s
+	old, grant, core, line, done := t.old, t.grant, t.core, t.line, t.done
+	if grant != Invalid && s.l1[core].epoch(line) == t.epoch {
+		s.fill(core, line, grant)
+		if s.Trace != nil {
+			s.trace(line, "t=%d core=%d filled %v", s.eng.Now(), core, grant)
+		}
+	}
+	s.freeTxn(t)
+	done(old)
 }
 
 // run executes the pending step. The step bodies are the statement blocks
@@ -227,7 +261,7 @@ func (t *txn) decide() {
 	t.rmwNew, t.noWriteRMW = 0, false
 	doWrite := false
 	if t.f != nil {
-		t.rmwNew, doWrite = t.f(s.words[t.addr])
+		t.rmwNew, doWrite = t.f(s.wordAt(t.addr))
 		if !doWrite {
 			t.f = nil
 			t.noWriteRMW = true
@@ -349,11 +383,11 @@ func (t *txn) exclRecord() {
 // while the reply is in flight.
 func (t *txn) serve() {
 	s, d := t.s, t.d
-	old := s.words[t.addr]
+	old := s.wordAt(t.addr)
 	grant := Shared
 	switch {
 	case t.f != nil:
-		s.words[t.addr] = t.rmwNew
+		s.setWord(t.addr, t.rmwNew)
 		grant = Modified
 	case t.noWriteRMW:
 		grant = Invalid // value-only reply, nothing installed
@@ -372,7 +406,7 @@ func (t *txn) serve() {
 	// invalidation-ack round trip, whichever is longer. Ownership grants
 	// mark the line settling until then. The epoch captured here lets
 	// transact reject a fill overtaken by a later invalidation.
-	t.epoch = s.l1[t.core].epochs[t.line]
+	t.epoch = s.l1[t.core].epoch(t.line)
 	wait := sim.Time(s.mesh.Latency(src, t.core)) + s.p.L1RT
 	if t.ackWait > wait {
 		wait = t.ackWait
@@ -382,9 +416,15 @@ func (t *txn) serve() {
 	}
 	d.res.Release(s.eng)
 	t.old, t.grant = old, grant
-	// The reply dispatches the requester directly after the flight (and
-	// ack) wait — the single process wake of the whole transaction.
-	t.p.Wake(wait)
+	// The reply resumes the requester directly after the flight (and ack)
+	// wait — the single suspension of the whole transaction: a parked
+	// blocking requester is dispatched, an async requester's reply event
+	// is scheduled at the identical (time, priority, sequence) position.
+	if t.p != nil {
+		t.p.Wake(wait)
+		return
+	}
+	s.eng.Schedule(wait, t.fin)
 }
 
 // startFetch begins the continuation mirror of the old fetchFromMemory:
@@ -438,9 +478,10 @@ func log2ceil(n int) int {
 // invalidateL1 removes line from core's L1 and wakes any spinners on it.
 func (s *System) invalidateL1(core int, line uint64) {
 	c := &s.l1[core]
-	c.epochs[line]++
+	le := c.st.fetch(line)
+	le.epoch++
 	if s.Trace != nil {
-		s.trace(line, "t=%d inv core=%d epoch->%d", s.eng.Now(), core, c.epochs[line])
+		s.trace(line, "t=%d inv core=%d epoch->%d", s.eng.Now(), core, le.epoch)
 	}
 	set := c.sets[line&s.setsMask()]
 	for i := range set {
@@ -449,16 +490,16 @@ func (s *System) invalidateL1(core int, line uint64) {
 			break
 		}
 	}
-	if q, ok := c.waiters[line]; ok && q.Len() > 0 {
+	if le.waiters != nil && le.waiters.Len() > 0 {
 		// The invalidation message takes one hop-ish to arrive; the
 		// spinner notices on its next local probe.
-		q.WakeAll(sim.Time(s.mesh.HopLatency()) + s.p.L1RT)
+		le.waiters.WakeAll(sim.Time(s.mesh.HopLatency()) + s.p.L1RT)
 	}
 }
 
 // fill installs line into core's L1 in the given state, evicting the LRU
 // way if the set is full.
-func (s *System) fill(p *sim.Proc, core int, line uint64, st State) {
+func (s *System) fill(core int, line uint64, st State) {
 	c := &s.l1[core]
 	idx := line & s.setsMask()
 	set := c.sets[idx]
@@ -512,8 +553,8 @@ func (s *System) evict(core int, sl l1slot) {
 		d.inL2 = true
 	}
 	d.sharers.clear(core)
-	if q, ok := s.l1[core].waiters[sl.line]; ok && q.Len() > 0 {
-		q.WakeAll(s.p.L1RT)
+	if le := s.l1[core].st.get(sl.line); le != nil && le.waiters != nil && le.waiters.Len() > 0 {
+		le.waiters.WakeAll(s.p.L1RT)
 	}
 }
 
@@ -532,12 +573,7 @@ func (s *System) SpinUntil(p *sim.Proc, core int, addr uint64, cond func(uint64)
 		if sl := c.lookup(s.setsMask(), line); sl == nil {
 			continue // already invalidated again; re-read
 		}
-		q, ok := c.waiters[line]
-		if !ok {
-			q = &sim.WaitQueue{}
-			c.waiters[line] = q
-		}
-		q.Wait(p, "spin")
+		c.spinQueue(line).Wait(p, "spin")
 	}
 }
 
@@ -545,18 +581,19 @@ func (s *System) SpinUntil(p *sim.Proc, core int, addr uint64, cond func(uint64)
 // workload data. The line is marked present in L2 so later reads are not
 // charged cold off-chip misses unless coldMiss is desired (use PokeCold).
 func (s *System) Poke(addr, val uint64) {
-	s.words[addr] = val
-	s.dirFor(Line(addr)).inL2 = true
+	le := s.lines.fetch(Line(addr))
+	le.words[wordIdx(addr)] = val
+	le.dir.inL2 = true
 }
 
 // PokeCold sets a word without marking the line L2-resident, so the first
 // access pays the off-chip fetch.
 func (s *System) PokeCold(addr, val uint64) {
-	s.words[addr] = val
+	s.setWord(addr, val)
 }
 
 // Peek returns a word's current value without timing effects.
-func (s *System) Peek(addr uint64) uint64 { return s.words[addr] }
+func (s *System) Peek(addr uint64) uint64 { return s.wordAt(addr) }
 
 // L1State returns core's current L1 state for the line holding addr
 // (Invalid if absent), for tests.

@@ -1,0 +1,50 @@
+// Package profiling wires the standard pprof profiles into the command-
+// line tools, so the "is the park/unpark dominating?" class of question is
+// answerable from a flag instead of an edit-and-rebuild cycle:
+//
+//	wisync-bench -quick -cpuprofile cpu.out fig7
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths:
+// a CPU profile written continuously to cpuPath, and a heap profile
+// written to memPath at stop time. It returns a stop function that must
+// run before the process exits (a no-op when both paths are empty).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -70,6 +70,27 @@
 // goroutine rather than its own. The golden-conformance suite in package
 // harness pins this equivalence end to end.
 //
+// # Tasks
+//
+// Workload threads can run in the same continuation form. A Task (task.go)
+// is the goroutine-free counterpart of a Proc: it is spawned with GoTask at
+// the same sequence position as Go, advances exclusively through completion
+// callbacks (SleepThen, the async hardware-model mirrors, WaitQueue.WaitFn),
+// and retires with Finish. A workload of Tasks runs entirely on the
+// goroutine driving the engine — zero process switches — while consuming
+// sequence numbers at exactly the points its blocking twin would, so the
+// two execution modes are interchangeable without moving a simulated
+// result.
+//
+// Continuation chains get the same inline collapse Sleep enjoys: SleepThen
+// has a zero-handoff fast path that, when the continuation would be the
+// very next event popped, skips the event queue entirely — the clock
+// advances inline and the continuation lands in the engine's trampoline
+// slot (cont), which the scheduler loop drains after each callback event.
+// The trampoline keeps arbitrarily long uncontended chains at constant
+// stack depth: each continuation returns to the scheduler before the next
+// one runs, so continuation-form loops never recurse.
+//
 // # Determinism
 //
 // The engine owns all randomness through a seeded splitmix64 generator,
@@ -120,6 +141,11 @@ type Engine struct {
 	rng     *Rand
 	handoff chan struct{}
 	procs   map[*Proc]struct{}
+	tasks   map[*Task]struct{}
+	// cont is the trampoline slot for the SleepThen fast path: a
+	// continuation that must run immediately after the current event, at
+	// constant stack depth. runEvents drains it after every callback event.
+	cont    func()
 	pv      any
 	pstack  []byte
 	stopped bool
@@ -132,6 +158,7 @@ func NewEngine(seed uint64) *Engine {
 		limit:   maxTime,
 		handoff: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
+		tasks:   make(map[*Task]struct{}),
 	}
 }
 
@@ -257,6 +284,14 @@ func (e *Engine) runEvents(self *Proc) tokenState {
 		e.now = ev.t
 		if ev.p == nil {
 			ev.fn()
+			// Trampoline: drain continuations parked by the SleepThen
+			// fast path. Each runs with the stack already unwound to
+			// here, so continuation-form loops never recurse.
+			for e.cont != nil {
+				fn := e.cont
+				e.cont = nil
+				fn()
+			}
 			continue
 		}
 		p := ev.p
@@ -283,12 +318,19 @@ func (e *Engine) rethrow() {
 }
 
 func (e *Engine) checkDeadlock() error {
-	if len(e.procs) == 0 {
+	if len(e.procs) == 0 && len(e.tasks) == 0 {
 		return nil
 	}
 	var parked []string
 	for p := range e.procs {
 		parked = append(parked, p.name+": "+p.reason)
+	}
+	for t := range e.tasks {
+		reason := t.reason
+		if reason == "" {
+			reason = "task not finished"
+		}
+		parked = append(parked, t.name+": "+reason)
 	}
 	sort.Strings(parked)
 	return &DeadlockError{Parked: parked}
@@ -307,6 +349,7 @@ func (e *Engine) Shutdown() {
 		<-e.handoff
 	}
 	e.procs = make(map[*Proc]struct{})
+	e.tasks = make(map[*Task]struct{})
 	e.pv, e.pstack = nil, nil
 	e.stopped = true
 }
@@ -314,6 +357,6 @@ func (e *Engine) Shutdown() {
 // Stopped reports whether Shutdown has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Live returns the number of processes that have been started and have not
-// yet finished.
-func (e *Engine) Live() int { return len(e.procs) }
+// Live returns the number of processes and tasks that have been started
+// and have not yet finished.
+func (e *Engine) Live() int { return len(e.procs) + len(e.tasks) }

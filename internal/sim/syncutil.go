@@ -1,47 +1,79 @@
 package sim
 
-// WaitQueue is a FIFO list of parked processes. Hardware models use it to
-// block processes on a condition and wake them when the condition changes.
-// The zero value is an empty queue ready to use.
+// WaitQueue is a FIFO list of suspended waiters — parked processes and/or
+// task continuations. Hardware models use it to block workload threads on
+// a condition and wake them when the condition changes; because both
+// waiter styles live in one queue, a spin list serves blocking Procs and
+// continuation-form Tasks with identical FIFO semantics. The zero value is
+// an empty queue ready to use.
+//
+// Waking consumes one event sequence number per waiter regardless of
+// style (Proc.Wake and Engine.Schedule produce events with identical
+// (time, priority, sequence) keys), so the two styles are interchangeable
+// without affecting simulated results.
 //
 // The queue is a head-indexed deque over a reused backing array: spin loops
-// park and wake the same processes over and over, and re-growing the queue
+// park and wake the same threads over and over, and re-growing the queue
 // each round is measurable garbage on hot coherence lines.
 type WaitQueue struct {
-	ps   []*Proc
+	ws   []waiter
 	head int
+	eng  *Engine
+}
+
+// waiter is one suspended entry: a parked process or a continuation.
+type waiter struct {
+	p  *Proc
+	fn func()
+}
+
+func (w waiter) wake(e *Engine, d Time) {
+	if w.p != nil {
+		w.p.Wake(d)
+		return
+	}
+	e.Schedule(d, w.fn)
 }
 
 // Wait parks p on the queue until some other event wakes it.
 func (q *WaitQueue) Wait(p *Proc, reason string) {
-	q.ps = append(q.ps, p)
+	q.eng = p.eng
+	q.ws = append(q.ws, waiter{p: p})
 	p.Park(reason)
 }
 
-// Len returns the number of waiting processes.
-func (q *WaitQueue) Len() int { return len(q.ps) - q.head }
+// WaitFn enqueues the continuation fn to run when the queue is woken. It
+// is the task-style counterpart of Wait: the caller's task is considered
+// suspended until fn fires.
+func (q *WaitQueue) WaitFn(e *Engine, fn func()) {
+	q.eng = e
+	q.ws = append(q.ws, waiter{fn: fn})
+}
+
+// Len returns the number of waiters.
+func (q *WaitQueue) Len() int { return len(q.ws) - q.head }
 
 // WakeAll wakes every waiter after d cycles, in FIFO order.
 func (q *WaitQueue) WakeAll(d Time) {
-	for i := q.head; i < len(q.ps); i++ {
-		q.ps[i].Wake(d)
-		q.ps[i] = nil
+	for i := q.head; i < len(q.ws); i++ {
+		q.ws[i].wake(q.eng, d)
+		q.ws[i] = waiter{}
 	}
-	q.ps = q.ps[:0]
+	q.ws = q.ws[:0]
 	q.head = 0
 }
 
 // WakeOne wakes the oldest waiter after d cycles. It reports whether a
-// process was woken.
+// waiter was woken.
 func (q *WaitQueue) WakeOne(d Time) bool {
 	if q.Len() == 0 {
 		return false
 	}
-	p := q.ps[q.head]
-	q.ps[q.head] = nil
+	w := q.ws[q.head]
+	q.ws[q.head] = waiter{}
 	q.head++
-	q.ps, q.head = compact(q.ps, q.head)
-	p.Wake(d)
+	q.ws, q.head = compact(q.ws, q.head)
+	w.wake(q.eng, d)
 	return true
 }
 
@@ -64,13 +96,13 @@ func compact[T any](ps []T, head int) ([]T, int) {
 // Remove drops p from the queue without waking it. It reports whether p was
 // found. The caller is responsible for waking p by other means.
 func (q *WaitQueue) Remove(p *Proc) bool {
-	for i := q.head; i < len(q.ps); i++ {
-		if q.ps[i] == p {
-			copy(q.ps[i:], q.ps[i+1:])
-			q.ps[len(q.ps)-1] = nil
-			q.ps = q.ps[:len(q.ps)-1]
-			if q.head == len(q.ps) {
-				q.ps = q.ps[:0]
+	for i := q.head; i < len(q.ws); i++ {
+		if q.ws[i].p == p {
+			copy(q.ws[i:], q.ws[i+1:])
+			q.ws[len(q.ws)-1] = waiter{}
+			q.ws = q.ws[:len(q.ws)-1]
+			if q.head == len(q.ws) {
+				q.ws = q.ws[:0]
 				q.head = 0
 			}
 			return true

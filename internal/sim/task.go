@@ -1,0 +1,113 @@
+package sim
+
+// Task is a continuation-form simulation process: the goroutine-free
+// counterpart of Proc for workload code written in completion-callback
+// style. A Task has no goroutine and no blocking calls — it advances by
+// scheduling continuations on the event queue (directly or through the
+// async mirrors of the hardware models), so an entire workload of Tasks
+// runs on whichever goroutine is already driving the engine.
+//
+// Tasks consume event sequence numbers at exactly the same execution
+// points as Procs (one per suspension; see the package comment), so a
+// workload converted from Proc-backed threads to Tasks produces
+// bit-identical simulated results. The golden-conformance suite in
+// package harness pins this end to end.
+type Task struct {
+	eng    *Engine
+	name   string
+	reason string
+	done   bool
+}
+
+// GoTask starts fn as a new task. Like Go, the task begins running at the
+// current simulation time (after already-queued same-cycle events), and the
+// start consumes one event sequence number — a Proc and a Task spawned at
+// the same point begin at the same (time, priority, sequence) position.
+//
+// fn runs as an ordinary engine event; it issues its first asynchronous
+// operation(s) and returns. The task must call Finish when its workload is
+// complete, or Run will report it in the deadlock diagnostics.
+func (e *Engine) GoTask(name string, fn func(*Task)) *Task {
+	if e.stopped {
+		panic("sim: GoTask after Shutdown")
+	}
+	t := &Task{eng: e, name: name}
+	e.tasks[t] = struct{}{}
+	e.Schedule(0, func() { fn(t) })
+	return t
+}
+
+// Name returns the task name given to GoTask.
+func (t *Task) Name() string { return t.name }
+
+// Engine returns the engine this task belongs to.
+func (t *Task) Engine() *Engine { return t.eng }
+
+// Now returns the current simulation time.
+func (t *Task) Now() Time { return t.eng.now }
+
+// Finish retires the task. A task that never finishes before the event
+// queue drains is reported by Run as deadlocked, exactly like a parked
+// process.
+func (t *Task) Finish() {
+	if t.done {
+		panic("sim: Finish of already-finished task " + t.name)
+	}
+	t.done = true
+	delete(t.eng.tasks, t)
+}
+
+// Done reports whether Finish has been called.
+func (t *Task) Done() bool { return t.done }
+
+// SetReason records a diagnostic label — typically the operation the task
+// last issued — reported by deadlock diagnostics in place of the parked
+// reason a Proc carries. Purely informational; a continuation-form model
+// has no parked goroutine to name its wait, so the last-issued operation
+// is the breadcrumb.
+func (t *Task) SetReason(r string) { t.reason = r }
+
+// Sleep runs then after d cycles. It is the continuation mirror of
+// Proc.Sleep; see Engine.SleepThen for the contract.
+func (t *Task) Sleep(d Time, then func()) { t.eng.SleepThen(d, then) }
+
+// SleepThen is the continuation mirror of Proc.Sleep: it arranges for then
+// to run after d cycles, consuming exactly one event sequence number, so a
+// continuation-form model suspends at the same (time, priority, sequence)
+// position as a blocking model that called Sleep(d).
+//
+// Like Sleep, it has a zero-cost fast path: when the continuation would be
+// the very next event popped (nothing precedes it in the event order and
+// the wake time is within the run horizon), no event is pushed at all —
+// the clock advances inline and then is handed to the engine's trampoline
+// slot, which the scheduler loop drains immediately after the current
+// event returns. Chains of uncontended continuations therefore cost one
+// function call each instead of a heap push and pop, without growing the
+// stack.
+//
+// SleepThen must be called from event context (inside a callback event or
+// a continuation), in tail position — the caller must do no simulation
+// work after it returns.
+func (e *Engine) SleepThen(d Time, then func()) {
+	t := e.now + d
+	if t < e.now {
+		panic("sim: SleepThen overflows the clock")
+	}
+	if t <= e.limit {
+		// Same condition as Proc.Sleep: at equal times this continuation's
+		// sequence is the largest, so it only precedes the queue head on a
+		// strictly earlier time — or the same time when the head is
+		// PrioLate and this continuation is PrioNormal.
+		if q := &e.q; len(q.ev) == 0 ||
+			t < q.ev[0].t || (t == q.ev[0].t && q.ev[0].key >= prioBit) {
+			if e.cont != nil {
+				panic("sim: SleepThen fast path with a continuation already pending")
+			}
+			e.seq++
+			e.now = t
+			e.cont = then
+			return
+		}
+	}
+	e.ScheduleAt(t, PrioNormal, then)
+}

@@ -161,6 +161,11 @@ func (f *Factory) NewReducer(init uint64) *Reducer { return &Reducer{v: f.NewVar
 // Add contributes delta.
 func (r *Reducer) Add(t *core.Thread, delta uint64) { r.v.FetchAdd(t, delta) }
 
+// AddTask is Add in continuation form.
+func (r *Reducer) AddTask(t *core.Task, delta uint64, then func()) {
+	AsTaskVar(r.v).FetchAddTask(t, delta, func(uint64) { then() })
+}
+
 // Value reads the current total.
 func (r *Reducer) Value(t *core.Thread) uint64 { return r.v.Load(t) }
 

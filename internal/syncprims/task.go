@@ -1,0 +1,288 @@
+package syncprims
+
+import (
+	"fmt"
+
+	"wisync/internal/core"
+)
+
+// This file is the continuation-form face of the synchronization
+// primitives: every primitive the blocking interfaces in syncprims.go
+// expose has a task-style method driven by completion callbacks, so
+// workloads running as core.Tasks synchronize through the same objects —
+// and therefore the same allocated variables, the same protocol traffic,
+// and the same simulated timing — as their blocking twins. A primitive
+// obtained from the Factory implements both faces; within one simulation a
+// workload uses one face consistently.
+
+// TaskBarrier is the continuation form of Barrier: then runs once all
+// participants have arrived.
+type TaskBarrier interface {
+	WaitTask(t *core.Task, then func())
+}
+
+// TaskLock is the continuation form of Lock.
+type TaskLock interface {
+	AcquireTask(t *core.Task, then func())
+	ReleaseTask(t *core.Task, then func())
+}
+
+// TaskVar is the continuation form of Var.
+type TaskVar interface {
+	LoadTask(t *core.Task, then func(uint64))
+	StoreTask(t *core.Task, v uint64, then func())
+	CASTask(t *core.Task, old, nv uint64, then func(bool))
+	FetchAddTask(t *core.Task, delta uint64, then func(uint64))
+	SpinUntilTask(t *core.Task, cond func(uint64) bool, then func(uint64))
+}
+
+// NewTaskBarrier allocates a barrier (exactly as NewBarrier would — the
+// allocation sequence is identical) and returns its continuation face.
+func (f *Factory) NewTaskBarrier(participants []int) TaskBarrier {
+	return AsTaskBarrier(f.NewBarrier(participants))
+}
+
+// NewTaskLock allocates a lock and returns its continuation face.
+func (f *Factory) NewTaskLock() TaskLock {
+	l := f.NewLock()
+	tl, ok := l.(TaskLock)
+	if !ok {
+		panic(fmt.Sprintf("syncprims: %T has no continuation form", l))
+	}
+	return tl
+}
+
+// NewTaskVar allocates a variable and returns its continuation face.
+func (f *Factory) NewTaskVar(init uint64) TaskVar {
+	return AsTaskVar(f.NewVar(init))
+}
+
+// AsTaskBarrier returns b's continuation face. Every barrier the Factory
+// builds implements both faces; the conversion lets a kernel allocate once
+// and run in either execution mode.
+func AsTaskBarrier(b Barrier) TaskBarrier {
+	tb, ok := b.(TaskBarrier)
+	if !ok {
+		panic(fmt.Sprintf("syncprims: %T has no continuation form", b))
+	}
+	return tb
+}
+
+// AsTaskVar returns v's continuation face.
+func AsTaskVar(v Var) TaskVar {
+	tv, ok := v.(TaskVar)
+	if !ok {
+		panic(fmt.Sprintf("syncprims: %T has no continuation form", v))
+	}
+	return tv
+}
+
+// ---- Variables ----
+
+func (v *cacheVar) LoadTask(t *core.Task, then func(uint64)) { t.Read(v.addr, then) }
+func (v *cacheVar) StoreTask(t *core.Task, x uint64, then func()) {
+	t.Write(v.addr, x, then)
+}
+func (v *cacheVar) CASTask(t *core.Task, old, nv uint64, then func(bool)) {
+	t.CAS(v.addr, old, nv, then)
+}
+func (v *cacheVar) FetchAddTask(t *core.Task, d uint64, then func(uint64)) {
+	t.FetchAdd(v.addr, d, then)
+}
+func (v *cacheVar) SpinUntilTask(t *core.Task, cond func(uint64) bool, then func(uint64)) {
+	t.SpinUntil(v.addr, cond, then)
+}
+
+func (v *bmVar) LoadTask(t *core.Task, then func(uint64)) { t.BMLoad(v.addr, then) }
+func (v *bmVar) StoreTask(t *core.Task, x uint64, then func()) {
+	t.BMStore(v.addr, x, then)
+}
+func (v *bmVar) CASTask(t *core.Task, old, nv uint64, then func(bool)) {
+	t.BMCAS(v.addr, old, nv, then)
+}
+func (v *bmVar) FetchAddTask(t *core.Task, d uint64, then func(uint64)) {
+	t.BMFetchAdd(v.addr, d, then)
+}
+func (v *bmVar) SpinUntilTask(t *core.Task, cond func(uint64) bool, then func(uint64)) {
+	t.BMSpinUntil(v.addr, cond, then)
+}
+
+// ---- Locks ----
+
+// spinLock in continuation form: the same test-and-test&set loop as
+// Acquire, with each blocking step a continuation.
+func (l *spinLock) AcquireTask(t *core.Task, then func()) {
+	tv := AsTaskVar(l.v)
+	var attempt func()
+	attempt = func() {
+		tv.SpinUntilTask(t, func(x uint64) bool { return x == 0 }, func(uint64) {
+			tv.CASTask(t, 0, 1, func(ok bool) {
+				if ok {
+					then()
+					return
+				}
+				attempt()
+			})
+		})
+	}
+	attempt()
+}
+
+func (l *spinLock) ReleaseTask(t *core.Task, then func()) {
+	AsTaskVar(l.v).StoreTask(t, 0, then)
+}
+
+// mcsLock in continuation form: the queue-lock protocol of Acquire/Release
+// with each memory operation a continuation.
+func (l *mcsLock) AcquireTask(t *core.Task, then func()) {
+	me := t.Core
+	t.Instr(8) // qnode setup and pointer arithmetic
+	t.Write(l.next[me], 0, func() {
+		t.Swap(l.tail, uint64(me+1), func(pred uint64) {
+			if pred == 0 {
+				then()
+				return
+			}
+			t.Write(l.locked[me], 1, func() {
+				t.Write(l.next[pred-1], uint64(me+1), func() {
+					t.SpinUntil(l.locked[me], func(x uint64) bool { return x == 0 },
+						func(uint64) { then() })
+				})
+			})
+		})
+	})
+}
+
+func (l *mcsLock) ReleaseTask(t *core.Task, then func()) {
+	me := t.Core
+	t.Instr(6)
+	handoff := func(succ uint64) { t.Write(l.locked[succ-1], 0, then) }
+	t.Read(l.next[me], func(succ uint64) {
+		if succ != 0 {
+			handoff(succ)
+			return
+		}
+		t.CAS(l.tail, uint64(me+1), 0, func(ok bool) {
+			if ok {
+				then()
+				return
+			}
+			// A successor is linking itself; wait for the link.
+			t.SpinUntil(l.next[me], func(x uint64) bool { return x != 0 }, handoff)
+		})
+	})
+}
+
+// ---- Barriers ----
+
+// centralBarrier in continuation form: the CAS retry loop, last-arriver
+// release and release-flag spin of Wait, step by step.
+func (b *centralBarrier) WaitTask(t *core.Task, then func()) {
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	var arrive func()
+	arrive = func() {
+		t.Read(b.count, func(c uint64) {
+			t.CAS(b.count, c, c+1, func(ok bool) {
+				if !ok {
+					t.Instr(4)
+					arrive()
+					return
+				}
+				if c+1 == b.n {
+					t.Write(b.count, 0, func() {
+						t.Write(b.release, ep, then)
+					})
+					return
+				}
+				t.SpinUntil(b.release, func(v uint64) bool { return v >= ep },
+					func(uint64) { then() })
+			})
+		})
+	}
+	arrive()
+}
+
+// tournamentBarrier in continuation form: the per-round winner/loser state
+// machine of Wait.
+func (b *tournamentBarrier) WaitTask(t *core.Task, then func()) {
+	idx := t.Core
+	if idx >= b.n {
+		panic(fmt.Sprintf("syncprims: thread %d beyond tournament size %d", idx, b.n))
+	}
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	// wakeFrom releases every beaten opponent from round r down, one write
+	// continuation at a time, then runs then.
+	var wakeFrom func(r int)
+	wakeFrom = func(r int) {
+		for ; r >= 0; r-- {
+			partner := idx + 1<<r
+			if partner < b.n {
+				rr := r
+				t.Write(b.wake[partner], ep, func() { wakeFrom(rr - 1) })
+				return
+			}
+		}
+		then()
+	}
+	var round func(r int)
+	round = func(r int) {
+		if r == b.rounds {
+			// Champion (never lost): wake everyone beaten, in reverse
+			// round order.
+			wakeFrom(b.rounds - 1)
+			return
+		}
+		t.Instr(10) // round bookkeeping: role/partner/flag computation
+		if idx&((1<<(r+1))-1) == 0 {
+			// Potential winner of round r: wait for the partner (or take
+			// a bye if it does not exist).
+			partner := idx + 1<<r
+			if partner < b.n {
+				t.SpinUntil(b.arrive[r*b.n+idx], func(v uint64) bool { return v >= ep },
+					func(uint64) { round(r + 1) })
+				return
+			}
+			round(r + 1)
+			return
+		}
+		// Loser of round r: report to the winner, then sleep until woken,
+		// then wake the opponents beaten in earlier rounds.
+		winner := idx - 1<<r
+		lose := r
+		t.Write(b.arrive[r*b.n+winner], ep, func() {
+			t.SpinUntil(b.wake[idx], func(v uint64) bool { return v >= ep },
+				func(uint64) { wakeFrom(lose - 1) })
+		})
+	}
+	round(0)
+}
+
+// dataBarrier in continuation form: fetch&inc arrival, last-arriver
+// release store, local-replica spin.
+func (b *dataBarrier) WaitTask(t *core.Task, then func()) {
+	b.ep[t.Core]++
+	ep := b.ep[t.Core]
+	t.BMFetchAdd(b.addr, 1, func(old uint64) {
+		if (old&0xffffffff)+1 == b.n {
+			// Last arriver: zero the count and publish the episode in one
+			// wireless message.
+			t.BMStore(b.addr, ep<<32, then)
+			return
+		}
+		t.BMSpinUntil(b.addr, func(v uint64) bool { return v>>32 >= ep },
+			func(uint64) { then() })
+	})
+}
+
+// toneBarrier in continuation form: tone_st, then the tone_ld spin.
+func (b *toneBarrier) WaitTask(t *core.Task, then func()) {
+	s := b.sense[t.Core]
+	t.ToneStore(b.addr, func() {
+		t.ToneWait(b.addr, s, func() {
+			b.sense[t.Core] ^= 1
+			then()
+		})
+	})
+}

@@ -1,0 +1,173 @@
+package syncprims
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+)
+
+// The syncprim equivalence tests drive each primitive's blocking and
+// continuation faces through the same workload and assert identical
+// simulated outcomes: final cycle count, protocol counters, and the
+// functional state the primitive protects.
+
+// lockResult captures everything a lock workload can observe.
+type lockResult struct {
+	Cycles  uint64
+	Counter uint64
+	MemHits uint64
+	MemMiss uint64
+	Txns    uint64
+	NetMsgs uint64
+}
+
+// runLockThreads hammers a critical section with blocking threads: each
+// thread increments an unprotected Go counter under the lock; any mutual-
+// exclusion failure shows up as a lost update in the simulated interleave.
+func runLockThreads(cfg config.Config, rounds int) lockResult {
+	m := core.NewMachine(cfg)
+	l := NewFactory(m).NewLock()
+	var counter uint64
+	m.SpawnAll(func(t *core.Thread) {
+		for i := 0; i < rounds; i++ {
+			l.Acquire(t)
+			counter++
+			t.Instr(20)
+			l.Release(t)
+		}
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return lockResultOf(m, counter)
+}
+
+// runLockTasks is the same workload in continuation form.
+func runLockTasks(cfg config.Config, rounds int) lockResult {
+	m := core.NewMachine(cfg)
+	l := NewFactory(m).NewTaskLock()
+	var counter uint64
+	m.SpawnAllTasks(func(t *core.Task) {
+		i := 0
+		var loop func()
+		loop = func() {
+			if i == rounds {
+				t.Finish()
+				return
+			}
+			i++
+			l.AcquireTask(t, func() {
+				counter++
+				t.Instr(20)
+				l.ReleaseTask(t, loop)
+			})
+		}
+		loop()
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return lockResultOf(m, counter)
+}
+
+func lockResultOf(m *core.Machine, counter uint64) lockResult {
+	r := lockResult{
+		Cycles:  uint64(m.Now()),
+		Counter: counter,
+		MemHits: m.Mem.Stats.L1Hits,
+		MemMiss: m.Mem.Stats.L1Misses,
+		Txns:    m.Mem.Stats.Transactions,
+	}
+	if m.Net != nil {
+		r.NetMsgs = m.Net.Stats.Messages
+	}
+	return r
+}
+
+// TestLockTaskEquivalence covers the spinLock (Baseline: CAS/backoff over
+// cached memory; WiSync: wireless test&set) and the Baseline+ MCS queue
+// lock in both execution modes.
+func TestLockTaskEquivalence(t *testing.T) {
+	const rounds = 4
+	for _, k := range config.Kinds {
+		for _, seed := range []uint64{1, 42} {
+			cfg := config.New(k, 8).WithSeed(seed)
+			thread := runLockThreads(cfg, rounds)
+			task := runLockTasks(cfg, rounds)
+			if thread != task {
+				t.Errorf("%v seed %d: lock execution modes diverged\nthread: %+v\n  task: %+v",
+					k, seed, thread, task)
+			}
+			if want := uint64(8 * rounds); task.Counter != want {
+				t.Errorf("%v seed %d: counter = %d, want %d (mutual exclusion broken?)",
+					k, seed, task.Counter, want)
+			}
+		}
+	}
+}
+
+// TestBarrierTaskEquivalence drives each barrier implementation directly
+// (not through a kernel): per-episode phase counters must observe full
+// synchronization, and both modes must finish at the same cycle.
+func TestBarrierTaskEquivalence(t *testing.T) {
+	const episodes = 5
+	run := func(cfg config.Config, task bool) (uint64, string) {
+		m := core.NewMachine(cfg)
+		b := NewFactory(m).NewBarrier(nil)
+		phase := make([]int, m.Cfg.Cores)
+		check := func(core int) {
+			phase[core]++
+			for c, p := range phase {
+				if p < phase[core]-1 || p > phase[core]+1 {
+					panic(fmt.Sprintf("core %d at phase %d while core %d at %d", core, phase[core], c, p))
+				}
+			}
+		}
+		if task {
+			tb := AsTaskBarrier(b)
+			m.SpawnAllTasks(func(t *core.Task) {
+				n := 0
+				var loop func()
+				loop = func() {
+					if n == episodes {
+						t.Finish()
+						return
+					}
+					n++
+					t.Instr(10 * (1 + t.Core%3))
+					tb.WaitTask(t, func() { check(t.Core); loop() })
+				}
+				loop()
+			})
+		} else {
+			m.SpawnAll(func(t *core.Thread) {
+				for n := 0; n < episodes; n++ {
+					t.Instr(10 * (1 + t.Core%3))
+					b.Wait(t)
+					check(t.Core)
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			panic(err)
+		}
+		net := ""
+		if m.Net != nil {
+			net = fmt.Sprintf("%+v/%+v", m.Net.Stats, m.Net.MACCounters())
+		}
+		return uint64(m.Now()), fmt.Sprintf("mem=%+v net=%s", m.Mem.Stats, net)
+	}
+	for _, k := range config.Kinds {
+		for _, seed := range []uint64{1, 42} {
+			cfg := config.New(k, 16).WithSeed(seed)
+			cycThread, ctrThread := run(cfg, false)
+			cycTask, ctrTask := run(cfg, true)
+			if cycThread != cycTask || ctrThread != ctrTask {
+				t.Errorf("%v seed %d barrier modes diverged:\nthread: cyc=%d %s\n  task: cyc=%d %s",
+					k, seed, cycThread, ctrThread, cycTask, ctrTask)
+			}
+		}
+	}
+}

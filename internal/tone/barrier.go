@@ -12,15 +12,8 @@ import (
 // it is the first arriver and broadcasts the Tone-bit message on the Data
 // channel. ToneStore returns when the arrival is architecturally visible.
 func (c *Controller) ToneStore(p *sim.Proc, node int, pid uint16, addr uint32) error {
-	ae := c.findAlloc(addr)
-	if ae == nil {
-		return &NotParticipantError{Node: node, Addr: addr}
-	}
-	if ae.pid != pid {
-		return &NotParticipantError{Node: node, Addr: addr}
-	}
-	if !ae.armed.has(node) {
-		return &NotParticipantError{Node: node, Addr: addr}
+	if err := c.checkParticipant(node, pid, addr); err != nil {
+		return err
 	}
 	if b := c.findActive(addr); b != nil {
 		// Tone being issued locally: stop it (arrive).
@@ -44,6 +37,48 @@ func (c *Controller) ToneStore(p *sim.Proc, node int, pid uint16, addr uint32) e
 	}
 	// Withdrawn: the activation marked us arrived.
 	c.Stats.InitWithdrawn++
+	return nil
+}
+
+// ToneStoreAsync is the continuation mirror of ToneStore: then runs at the
+// cycle the arrival is architecturally visible. Faults are reported
+// synchronously, before any simulated time elapses, exactly as in the
+// blocking form.
+func (c *Controller) ToneStoreAsync(node int, pid uint16, addr uint32, then func()) error {
+	if err := c.checkParticipant(node, pid, addr); err != nil {
+		return err
+	}
+	if b := c.findActive(addr); b != nil {
+		// Tone being issued locally: stop it (arrive).
+		c.arrive(b, node)
+		c.eng.SleepThen(1, then)
+		return nil
+	}
+	pi := &c.pending[node]
+	*pi = pendingInit{active: true, addr: addr}
+	c.net.SendAsync(wireless.Msg{
+		Src: node, Addr: addr, Kind: wireless.KindToneInit, PID: pid,
+	}, &pi.tok, func(committed bool) {
+		if committed {
+			pi.active = false
+		} else {
+			// Withdrawn: the activation marked us arrived.
+			c.Stats.InitWithdrawn++
+		}
+		then()
+	})
+	return nil
+}
+
+// checkParticipant validates a tone_st issuer: addr must be an allocated
+// barrier owned by pid with node armed as a participant (Section 4.4).
+// Shared by both faces of ToneStore so fault behavior cannot diverge
+// between execution modes.
+func (c *Controller) checkParticipant(node int, pid uint16, addr uint32) error {
+	ae := c.findAlloc(addr)
+	if ae == nil || ae.pid != pid || !ae.armed.has(node) {
+		return &NotParticipantError{Node: node, Addr: addr}
+	}
 	return nil
 }
 
@@ -155,4 +190,11 @@ func (c *Controller) WaitToggle(p *sim.Proc, node int, pid uint16, addr uint32, 
 		}
 		c.bm.WaitChange(p, node, addr)
 	}
+}
+
+// WaitToggleAsync is the continuation mirror of WaitToggle: then receives
+// the barrier variable once it equals want, with the same local-poll /
+// wait-change cadence as the blocking form.
+func (c *Controller) WaitToggleAsync(node int, pid uint16, addr uint32, want uint64, then func(uint64)) error {
+	return c.bm.SpinUntilAsync(node, pid, addr, func(v uint64) bool { return v == want }, then)
 }
