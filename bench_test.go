@@ -15,6 +15,7 @@ package wisync_test
 import (
 	"testing"
 
+	"wisync/internal/apps"
 	"wisync/internal/config"
 	"wisync/internal/core"
 	"wisync/internal/harness"
@@ -216,6 +217,36 @@ func BenchmarkTaskTightLoop(b *testing.B) {
 	b.Run("thread-baseline", run(config.Baseline, kernels.ExecThread))
 	b.Run("task-wnot", run(config.WiSyncNoT, kernels.ExecTask))
 	b.Run("thread-wnot", run(config.WiSyncNoT, kernels.ExecThread))
+}
+
+// BenchmarkFig10App pins the full-application path on one representative
+// profile: streamcluster (the headline Figure 10 bar — barrier-phase bound
+// with reductions) at the Fig10 geometry, task vs thread execution. ns/op
+// is simulator wall time and allocs/op the interpreter's allocation rate —
+// task mode must stay goroutine-free and near-allocation-free; cyc is the
+// simulated result, identical between the modes by construction (the apps
+// equivalence suite enforces it; reported so benchmark diffs catch drift
+// too).
+func BenchmarkFig10App(b *testing.B) {
+	p, ok := apps.ByName("streamcluster")
+	if !ok {
+		b.Fatal("streamcluster profile missing")
+	}
+	p.Iterations = 4
+	run := func(exec core.Exec) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := config.New(config.WiSyncNoT, 64)
+			var cyc float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := apps.RunExec(cfg, p, exec)
+				cyc = float64(r.Cycles)
+			}
+			b.ReportMetric(cyc, "cyc")
+		}
+	}
+	b.Run("task", run(core.ExecTask))
+	b.Run("thread", run(core.ExecThread))
 }
 
 // ---- Ablations (DESIGN.md section 5) ----

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"wisync/internal/core"
 	"wisync/internal/harness"
 	"wisync/internal/profiling"
 	"wisync/internal/wireless"
@@ -63,11 +64,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+strings.Join(macNames(), "|"))
+	execName := flag.String("exec", "task", "application workload execution mode: task|thread (identical simulated results)")
+	verbose := flag.Bool("v", false, "append scheduler-internals diagnostics (# sched lines: wheel hits, heap fallbacks, step-pool reuse)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available subcommands and MAC protocols, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-mac p] [-list] [%s]\n",
+		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-mac p] [-exec m] [-v] [-list] [%s]\n",
 			strings.Join(commandNames(), "|"))
 		flag.PrintDefaults()
 	}
@@ -82,11 +85,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wisync-bench: unknown MAC %q (one of: %s)\n", *macName, strings.Join(macNames(), ", "))
 		os.Exit(2)
 	}
+	var exec core.Exec
+	switch *execName {
+	case "task":
+		exec = core.ExecTask
+	case "thread":
+		exec = core.ExecThread
+	default:
+		fmt.Fprintf(os.Stderr, "wisync-bench: unknown exec mode %q (task or thread)\n", *execName)
+		os.Exit(2)
+	}
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac, Out: os.Stdout}
+	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac,
+		Exec: exec, Verbose: *verbose, Out: os.Stdout}
 	for _, c := range commands {
 		if c.name != what {
 			continue
@@ -98,7 +112,7 @@ func main() {
 		if what == "macs" {
 			macDesc = "all-compared"
 		}
-		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d mac=%s seed=1\n", what, *quick, *workers, macDesc)
+		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d mac=%s exec=%v seed=1\n", what, *quick, *workers, macDesc, exec)
 		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)

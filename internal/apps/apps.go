@@ -18,8 +18,10 @@ import (
 
 	"wisync/internal/config"
 	"wisync/internal/core"
+	"wisync/internal/mem"
 	"wisync/internal/sim"
 	"wisync/internal/syncprims"
+	"wisync/internal/wireless"
 )
 
 // Profile describes one application's synchronization behavior. Each of
@@ -60,6 +62,19 @@ type Result struct {
 	DataUtilPct float64
 	// Spills counts BM allocations that fell back to cached memory.
 	Spills int
+	// Mem, Net and MAC expose the machine's protocol counters, so the
+	// equivalence suite can pin the execution modes counter-for-counter,
+	// not just on the headline cycles. Net/MAC are zero on wired
+	// configurations.
+	Mem mem.Stats
+	Net wireless.Stats
+	MAC wireless.MACStats
+	// Sched reports the engine's scheduling internals (timing-wheel hits,
+	// heap fallbacks, recycled-step reuse). Unlike every field above it
+	// describes simulator mechanics, not simulated behavior: the two
+	// execution modes legitimately differ here, and the equivalence suite
+	// excludes it.
+	Sched sim.SchedStats
 }
 
 func (r Result) String() string {
@@ -67,8 +82,17 @@ func (r Result) String() string {
 		r.Profile.Name, r.Cfg.Kind, r.Cycles, r.DataUtilPct)
 }
 
-// Run executes the profile on the given configuration.
+// Run executes the profile on the given configuration in the default
+// (task) execution mode.
 func Run(cfg config.Config, p Profile) Result {
+	return RunExec(cfg, p, core.ExecTask)
+}
+
+// RunExec is Run with an explicit workload execution mode. Allocation (and
+// therefore the BM spill sequence) is shared between the modes; only the
+// interpreter differs — the blocking loop nest below, or the appTask state
+// machine in task.go — and the two produce bit-identical results.
+func RunExec(cfg config.Config, p Profile, exec core.Exec) Result {
 	m := core.NewMachine(cfg)
 	f := syncprims.NewFactory(m)
 	var barrier syncprims.Barrier
@@ -92,54 +116,73 @@ func Run(cfg config.Config, p Profile) Result {
 		lockData[i] = m.AllocLine()
 	}
 
-	m.SpawnAll(func(t *core.Thread) {
-		rng := sim.NewRand(cfg.Seed*1000003 + uint64(t.Core))
-		// Desynchronized start, as threads of a real program are.
-		t.Compute(rng.Intn(p.ComputeMean/4 + 1))
-		for it := 0; it < p.Iterations; it++ {
-			compute := p.ComputeMean / max(p.BarriersPerIter, 1)
-			for b := 0; b < max(p.BarriersPerIter, 1); b++ {
-				t.Compute(int(rng.Jitter(float64(compute), p.Jitter, 1)))
-				for r := 0; r < p.SharedReadsPerIter/max(p.BarriersPerIter, 1); r++ {
-					line := rng.Intn(p.SharedLines)
-					t.Read(shared + uint64(line*64))
+	if exec == core.ExecThread {
+		m.SpawnAll(func(t *core.Thread) {
+			rng := sim.NewRand(cfg.Seed*1000003 + uint64(t.Core))
+			// Desynchronized start, as threads of a real program are.
+			t.Compute(rng.Intn(p.ComputeMean/4 + 1))
+			for it := 0; it < p.Iterations; it++ {
+				compute := p.ComputeMean / max(p.BarriersPerIter, 1)
+				for b := 0; b < max(p.BarriersPerIter, 1); b++ {
+					t.Compute(int(rng.Jitter(float64(compute), p.Jitter, 1)))
+					for r := 0; r < p.SharedReadsPerIter/max(p.BarriersPerIter, 1); r++ {
+						line := rng.Intn(p.SharedLines)
+						t.Read(shared + uint64(line*64))
+					}
+					if barrier != nil {
+						barrier.Wait(t)
+					}
 				}
-				if barrier != nil {
-					barrier.Wait(t)
+				for l := 0; l < p.LockOpsPerIter; l++ {
+					li := rng.Intn(max(p.NumLocks, 1))
+					lk := locks[li%len(locks)]
+					lk.Acquire(t)
+					t.Compute(p.HoldCycles)
+					t.Write(lockData[li%len(lockData)], uint64(it))
+					lk.Release(t)
+					t.Compute(int(rng.Jitter(float64(p.HoldCycles*2+20), p.Jitter, 1)))
+				}
+				for r := 0; r < p.ReductionsPerIter; r++ {
+					red.Add(t, 1)
+					t.Compute(20 + rng.Intn(40))
 				}
 			}
-			for l := 0; l < p.LockOpsPerIter; l++ {
-				li := rng.Intn(max(p.NumLocks, 1))
-				lk := locks[li%len(locks)]
-				lk.Acquire(t)
-				t.Compute(p.HoldCycles)
-				t.Write(lockData[li%len(lockData)], uint64(it))
-				lk.Release(t)
-				t.Compute(int(rng.Jitter(float64(p.HoldCycles*2+20), p.Jitter, 1)))
-			}
-			for r := 0; r < p.ReductionsPerIter; r++ {
-				red.Add(t, 1)
-				t.Compute(20 + rng.Intn(40))
-			}
+		})
+	} else {
+		var tb syncprims.TaskBarrier
+		if barrier != nil {
+			tb = syncprims.AsTaskBarrier(barrier)
 		}
-	})
+		tlocks := make([]syncprims.TaskLock, len(locks))
+		for i, l := range locks {
+			tlocks[i] = syncprims.AsTaskLock(l)
+		}
+		var tred syncprims.TaskReducer
+		if red != nil {
+			tred = red.AsTask()
+		}
+		m.SpawnAllTasks(func(t *core.Task) {
+			newAppTask(t, &p, tb, tlocks, tred, shared, lockData,
+				cfg.Seed*1000003+uint64(t.Core)).start()
+		})
+	}
 	if err := m.Run(); err != nil {
 		panic(fmt.Sprintf("apps: %s on %s: %v", p.Name, cfg.Kind, err))
 	}
-	return Result{
+	r := Result{
 		Profile:     p,
 		Cfg:         cfg,
 		Cycles:      m.Now(),
 		DataUtilPct: 100 * m.DataChannelUtilization(),
 		Spills:      f.Spills,
+		Mem:         m.Mem.Stats,
+		Sched:       m.Eng.SchedStats(),
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
+	if m.Net != nil {
+		r.Net = m.Net.Stats
+		r.MAC = m.Net.MACCounters()
 	}
-	return b
+	return r
 }
 
 // Speedups runs the profile on all four configurations and returns the

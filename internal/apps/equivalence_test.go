@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/sim"
+)
+
+// The equivalence suite proves the continuation-form profile interpreter
+// (task.go) is bit-identical to the blocking loop nest in RunExec: every
+// reported metric and every mem/net/MAC protocol counter must match
+// exactly, across seeds, architectures and profile shapes. Together with
+// the apps golden table in package harness (whose committed file predates
+// the port), this pins that the task rewrite moved no simulated result.
+
+// equivProfiles picks profiles covering every interpreter path: barrier
+// phases with reductions (streamcluster), a serialized hot lock
+// (radiosity), a BM-overflowing lock array (dedup — the spill path), mixed
+// barrier+locks (water-sp), and a compute-bound app with neither locks nor
+// reductions (blackscholes). Iterations are trimmed so the matrix runs
+// under -race in the short CI job.
+func equivProfiles() []Profile {
+	var ps []Profile
+	for _, pick := range []struct {
+		name  string
+		iters int
+	}{
+		{"streamcluster", 3},
+		{"radiosity", 3},
+		{"dedup", 2},
+		{"water-sp", 2},
+		{"blackscholes", 2},
+	} {
+		p, ok := ByName(pick.name)
+		if !ok {
+			panic("unknown profile " + pick.name)
+		}
+		p.Iterations = pick.iters
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// stripSched clears the one field where the execution modes legitimately
+// differ: SchedStats describe simulator mechanics (wheel routing, step
+// reuse), not simulated behavior.
+func stripSched(r Result) Result {
+	r.Sched = sim.SchedStats{}
+	return r
+}
+
+func TestRunExecEquivalence(t *testing.T) {
+	for _, p := range equivProfiles() {
+		for _, kind := range config.Kinds {
+			for _, seed := range []uint64{1, 42} {
+				cfg := config.New(kind, 16).WithSeed(seed)
+				thread := stripSched(RunExec(cfg, p, core.ExecThread))
+				task := stripSched(RunExec(cfg, p, core.ExecTask))
+				a, b := fmt.Sprintf("%+v", thread), fmt.Sprintf("%+v", task)
+				if a != b {
+					t.Errorf("%s on %v/16c seed %d: thread and task execution diverged\nthread: %s\n  task: %s",
+						p.Name, kind, seed, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRunExecEquivalenceFig10Point spot-checks the Figure 10 geometry (64
+// cores), where barrier storms and MAC arbitration are qualitatively
+// different from the 16-core matrix. Skipped in -short mode.
+func TestRunExecEquivalenceFig10Point(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core equivalence points")
+	}
+	for _, name := range []string{"streamcluster", "radiosity"} {
+		p, _ := ByName(name)
+		p.Iterations = 3
+		for _, kind := range []config.Kind{config.Baseline, config.WiSyncNoT, config.WiSync} {
+			cfg := config.New(kind, 64)
+			thread := stripSched(RunExec(cfg, p, core.ExecThread))
+			task := stripSched(RunExec(cfg, p, core.ExecTask))
+			a, b := fmt.Sprintf("%+v", thread), fmt.Sprintf("%+v", task)
+			if a != b {
+				t.Errorf("%s on %v/64c: thread and task execution diverged\nthread: %s\n  task: %s",
+					name, kind, a, b)
+			}
+		}
+	}
+}
+
+// TestTaskModeRecyclesSteps asserts the interpreter actually reuses its
+// step structs: pool hits must dwarf misses on any non-trivial profile.
+func TestTaskModeRecyclesSteps(t *testing.T) {
+	p, _ := ByName("streamcluster")
+	p.Iterations = 3
+	r := RunExec(config.New(config.Baseline, 16), p, core.ExecTask)
+	if r.Sched.StepPoolMisses == 0 {
+		t.Fatal("no step allocations recorded — counters not wired?")
+	}
+	if r.Sched.StepPoolHits < 10*r.Sched.StepPoolMisses {
+		t.Errorf("step pool hits (%d) not dominating misses (%d)",
+			r.Sched.StepPoolHits, r.Sched.StepPoolMisses)
+	}
+}

@@ -1,0 +1,169 @@
+package apps
+
+// This file is the continuation form of the profile interpreter: the
+// per-iteration compute / shared-read / barrier / lock / reduction loop
+// nest of Run as a core.Task state machine. Each task owns one appTask —
+// the loop counters are fields, the continuations are method values cached
+// at construction — so interpreting a profile allocates nothing per
+// operation beyond what the primitives themselves need. Simulated behavior
+// is bit-identical to the blocking interpreter: the per-thread random
+// stream is consumed in the same order and every suspension consumes its
+// event sequence number at the same execution point (pinned by the
+// equivalence suite in this package and the apps golden table in package
+// harness).
+
+import (
+	"wisync/internal/core"
+	"wisync/internal/sim"
+	"wisync/internal/syncprims"
+)
+
+// appTask interprets one thread's share of a profile in continuation form.
+// The counters mirror the blocking loop nest: it (iterations completed), b
+// (barrier phases completed this iteration), r (reads or reductions
+// completed this phase), l (lock operations completed this iteration).
+type appTask struct {
+	t   *core.Task
+	p   *Profile
+	rng *sim.Rand
+
+	barrier  syncprims.TaskBarrier // nil when the profile has no barriers
+	locks    []syncprims.TaskLock
+	red      syncprims.TaskReducer
+	shared   uint64
+	lockData []uint64
+
+	nb       int // barrier phases per iteration (>= 1)
+	compute  int // mean compute per barrier phase
+	reads    int // shared reads per barrier phase
+	numLocks int // lock-choice range (>= 1)
+
+	it, b, r, l, li int
+
+	afterBarrierFn, afterAcquireFn, afterWriteFn,
+	afterReleaseFn func()
+	onReadFn, onAddFn func(uint64)
+}
+
+func newAppTask(t *core.Task, p *Profile, barrier syncprims.TaskBarrier,
+	locks []syncprims.TaskLock, red syncprims.TaskReducer, shared uint64,
+	lockData []uint64, seed uint64) *appTask {
+	t.M.Eng.StepPoolMiss()
+	a := &appTask{
+		t: t, p: p,
+		rng:     sim.NewRand(seed),
+		barrier: barrier, locks: locks, red: red,
+		shared: shared, lockData: lockData,
+		nb:       max(p.BarriersPerIter, 1),
+		numLocks: max(p.NumLocks, 1),
+	}
+	a.compute = p.ComputeMean / a.nb
+	a.reads = p.SharedReadsPerIter / a.nb
+	a.afterBarrierFn = a.afterBarrier
+	a.afterAcquireFn = a.afterAcquire
+	a.afterWriteFn = a.afterWrite
+	a.afterReleaseFn = a.afterRelease
+	a.onReadFn = a.onRead
+	a.onAddFn = a.onAdd
+	return a
+}
+
+// start is the task body entry: the desynchronized start, then the
+// iteration loop.
+func (a *appTask) start() {
+	a.t.Compute(a.rng.Intn(a.p.ComputeMean/4 + 1))
+	a.iter()
+}
+
+func (a *appTask) iter() {
+	if a.it == a.p.Iterations {
+		a.t.Finish()
+		return
+	}
+	if a.it > 0 {
+		// Pool-hit semantics match the hardware pools: the first
+		// iteration runs on the freshly allocated struct (the miss
+		// recorded in newAppTask); every later one is a reuse.
+		a.t.M.Eng.StepPoolHit()
+	}
+	a.b = 0
+	a.phase()
+}
+
+// phase runs one barrier phase: jittered compute, the shared-footprint
+// reads, then the barrier.
+func (a *appTask) phase() {
+	if a.b == a.nb {
+		a.l = 0
+		a.lockOps()
+		return
+	}
+	a.t.Compute(int(a.rng.Jitter(float64(a.compute), a.p.Jitter, 1)))
+	a.r = 0
+	a.sharedReads()
+}
+
+func (a *appTask) sharedReads() {
+	if a.r == a.reads {
+		if a.barrier != nil {
+			a.barrier.WaitTask(a.t, a.afterBarrierFn)
+			return
+		}
+		a.afterBarrier()
+		return
+	}
+	a.r++
+	line := a.rng.Intn(a.p.SharedLines)
+	a.t.Read(a.shared+uint64(line*64), a.onReadFn)
+}
+
+func (a *appTask) onRead(uint64) { a.sharedReads() }
+
+func (a *appTask) afterBarrier() {
+	a.b++
+	a.phase()
+}
+
+// lockOps runs the critical-section loop: pick a lock, acquire, hold with
+// one shared-line write, release, then the jittered inter-acquire gap.
+func (a *appTask) lockOps() {
+	if a.l == a.p.LockOpsPerIter {
+		a.r = 0
+		a.reductions()
+		return
+	}
+	a.li = a.rng.Intn(a.numLocks)
+	a.locks[a.li%len(a.locks)].AcquireTask(a.t, a.afterAcquireFn)
+}
+
+func (a *appTask) afterAcquire() {
+	a.t.Compute(a.p.HoldCycles)
+	a.t.Write(a.lockData[a.li%len(a.lockData)], uint64(a.it), a.afterWriteFn)
+}
+
+func (a *appTask) afterWrite() {
+	a.locks[a.li%len(a.locks)].ReleaseTask(a.t, a.afterReleaseFn)
+}
+
+func (a *appTask) afterRelease() {
+	a.t.Compute(int(a.rng.Jitter(float64(a.p.HoldCycles*2+20), a.p.Jitter, 1)))
+	a.l++
+	a.lockOps()
+}
+
+// reductions runs the fetch&add updates to the global accumulator, then
+// advances to the next iteration.
+func (a *appTask) reductions() {
+	if a.r == a.p.ReductionsPerIter {
+		a.it++
+		a.iter()
+		return
+	}
+	a.red.Add(a.t, 1, a.onAddFn)
+}
+
+func (a *appTask) onAdd(uint64) {
+	a.t.Compute(20 + a.rng.Intn(40))
+	a.r++
+	a.reductions()
+}

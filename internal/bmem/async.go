@@ -15,14 +15,65 @@ import (
 // sequence numbers at identical points, so they are interchangeable
 // without moving a simulated result.
 
+// loadCont is a recycled load-delivery continuation: the "sleep the local
+// round trip, then hand over the replica's value" step of LoadAsync, which
+// would otherwise capture addr and then in a fresh closure on the
+// spin-probe hot path. The value is sampled at fire time, exactly as the
+// closure form did.
+type loadCont struct {
+	b    *BM
+	addr uint32
+	then func(uint64)
+	fn   func() // cached method value of run
+}
+
+func (b *BM) newLoadCont(addr uint32, then func(uint64)) *loadCont {
+	var c *loadCont
+	if n := len(b.loadFree); n > 0 {
+		c = b.loadFree[n-1]
+		b.loadFree = b.loadFree[:n-1]
+		b.eng.StepPoolHit()
+	} else {
+		c = &loadCont{b: b}
+		c.fn = c.run
+		b.eng.StepPoolMiss()
+	}
+	c.addr, c.then = addr, then
+	return c
+}
+
+func (c *loadCont) run() {
+	b, addr, then := c.b, c.addr, c.then
+	c.then = nil
+	b.loadFree = append(b.loadFree, c)
+	then(b.entries[addr].val)
+}
+
 // LoadAsync is the continuation mirror of Load.
 func (b *BM) LoadAsync(node int, pid uint16, addr uint32, then func(uint64)) error {
 	if err := b.check(node, pid, addr); err != nil {
 		return err
 	}
 	b.Stats.Loads++
-	b.eng.SleepThen(b.p.RT, func() { then(b.entries[addr].val) })
+	b.eng.SleepThen(b.p.RT, b.newLoadCont(addr, then).fn)
 	return nil
+}
+
+// storeCont is a recycled store-commit continuation: StoreAsync's "set the
+// WCB, then run the user continuation" completion.
+type storeCont struct {
+	b    *BM
+	node int
+	then func()
+	fn   func(bool) // cached method value of run
+}
+
+func (c *storeCont) run(bool) {
+	b, node, then := c.b, c.node, c.then
+	c.then = nil
+	b.storeFree = append(b.storeFree, c)
+	b.wcb[node] = true
+	then()
 }
 
 // StoreAsync is the continuation mirror of Store: then runs at the commit
@@ -33,11 +84,18 @@ func (b *BM) StoreAsync(node int, pid uint16, addr uint32, val uint64, then func
 	}
 	b.Stats.Stores++
 	b.wcb[node] = false
-	b.net.SendAsync(wireless.Msg{Src: node, Addr: addr, Val: val, Kind: wireless.KindStore, PID: pid}, nil,
-		func(bool) {
-			b.wcb[node] = true
-			then()
-		})
+	var c *storeCont
+	if n := len(b.storeFree); n > 0 {
+		c = b.storeFree[n-1]
+		b.storeFree = b.storeFree[:n-1]
+		b.eng.StepPoolHit()
+	} else {
+		c = &storeCont{b: b}
+		c.fn = c.run
+		b.eng.StepPoolMiss()
+	}
+	c.node, c.then = node, then
+	b.net.SendAsync(wireless.Msg{Src: node, Addr: addr, Val: val, Kind: wireless.KindStore, PID: pid}, nil, c.fn)
 	return nil
 }
 
@@ -88,26 +146,62 @@ func (b *BM) RMWAsync(node int, pid uint16, addr uint32, f func(uint64) (uint64,
 	return nil
 }
 
+// rmwGrantCont is a recycled grant-time RMW chain: the pipeline-read
+// delay, the channel submission with the old-value-capturing Op wrapper,
+// and the commit completion of rmwAtGrantAsync as one pooled struct. It
+// stays out of the pool from issue to commit — concurrent RMWs from other
+// nodes draw their own structs — and its msg carries the cached Op method
+// value, so a steady-state RMW storm allocates nothing.
+type rmwGrantCont struct {
+	b    *BM
+	node int
+	old  uint64
+	f    func(uint64) (uint64, bool)
+	then func(old uint64, ok bool)
+	msg  wireless.Msg
+
+	submitFn func()
+	doneFn   func(bool)
+}
+
+func (c *rmwGrantCont) op(cur uint64) (uint64, bool) {
+	c.old = cur
+	return c.f(cur)
+}
+
+func (c *rmwGrantCont) submit() { c.b.net.SendAsync(c.msg, nil, c.doneFn) }
+
+func (c *rmwGrantCont) done(bool) {
+	b, node, old, then := c.b, c.node, c.old, c.then
+	c.f, c.then = nil, nil
+	b.rmwFree = append(b.rmwFree, c)
+	b.wcb[node] = true
+	then(old, true)
+}
+
 // rmwAtGrantAsync mirrors rmwAtGrant: the pipeline read delay and the
 // channel submission are already continuations there; here the completion
 // is one too.
 func (b *BM) rmwAtGrantAsync(node int, pid uint16, addr uint32, f func(uint64) (uint64, bool), then func(old uint64, ok bool)) error {
 	b.wcb[node] = false
 	b.afb[node] = false
-	var old uint64
-	op := func(cur uint64) (uint64, bool) {
-		old = cur
-		return f(cur)
+	var c *rmwGrantCont
+	if n := len(b.rmwFree); n > 0 {
+		c = b.rmwFree[n-1]
+		b.rmwFree = b.rmwFree[:n-1]
+		b.eng.StepPoolHit()
+	} else {
+		c = &rmwGrantCont{b: b}
+		c.submitFn = c.submit
+		c.doneFn = c.done
+		c.msg.Op = c.op
+		b.eng.StepPoolMiss()
 	}
-	msg := wireless.Msg{Src: node, Addr: addr, Kind: wireless.KindRMW, PID: pid, Op: op}
+	c.node, c.f, c.then = node, f, then
+	c.msg.Src, c.msg.Addr, c.msg.Kind, c.msg.PID = node, addr, wireless.KindRMW, pid
 	// The instruction still reads the local BM into the pipeline (RT),
 	// then contends for the channel.
-	b.eng.SleepThen(b.p.RT, func() {
-		b.net.SendAsync(msg, nil, func(bool) {
-			b.wcb[node] = true
-			then(old, true)
-		})
-	})
+	b.eng.SleepThen(b.p.RT, c.submitFn)
 	return nil
 }
 
@@ -117,6 +211,42 @@ func (b *BM) WaitChangeFn(addr uint32, fn func()) {
 	b.watcherQueue(addr).WaitFn(b.eng, fn)
 }
 
+// bmSpin is a recycled spin loop: the onVal/respin continuation pair of
+// SpinUntilAsync as struct fields and cached method values. Spins from
+// different nodes overlap, so the structs pool on the BM; a spin returns
+// to the pool the moment its condition is satisfied.
+type bmSpin struct {
+	b    *BM
+	node int
+	pid  uint16
+	addr uint32
+	cond func(uint64) bool
+	then func(uint64)
+
+	onValFn  func(uint64)
+	respinFn func()
+}
+
+func (sp *bmSpin) respin() {
+	if err := sp.b.LoadAsync(sp.node, sp.pid, sp.addr, sp.onValFn); err != nil {
+		// The entry was freed or re-tagged mid-spin: the simulated
+		// program faults, as the blocking form's must() would.
+		panic(err)
+	}
+}
+
+func (sp *bmSpin) onVal(v uint64) {
+	b := sp.b
+	if sp.cond(v) {
+		then := sp.then
+		sp.cond, sp.then = nil, nil
+		b.spinFree = append(b.spinFree, sp)
+		then(v)
+		return
+	}
+	b.WaitChangeFn(sp.addr, sp.respinFn)
+}
+
 // SpinUntilAsync is the continuation mirror of SpinUntil: local-replica
 // polls between commits, no network traffic. then receives the satisfying
 // value.
@@ -124,22 +254,19 @@ func (b *BM) SpinUntilAsync(node int, pid uint16, addr uint32, cond func(uint64)
 	if err := b.check(node, pid, addr); err != nil {
 		return err
 	}
-	var onVal func(uint64)
-	respin := func() {
-		if err := b.LoadAsync(node, pid, addr, onVal); err != nil {
-			// The entry was freed or re-tagged mid-spin: the simulated
-			// program faults, as the blocking form's must() would.
-			panic(err)
-		}
+	var sp *bmSpin
+	if n := len(b.spinFree); n > 0 {
+		sp = b.spinFree[n-1]
+		b.spinFree = b.spinFree[:n-1]
+		b.eng.StepPoolHit()
+	} else {
+		sp = &bmSpin{b: b}
+		sp.onValFn = sp.onVal
+		sp.respinFn = sp.respin
+		b.eng.StepPoolMiss()
 	}
-	onVal = func(v uint64) {
-		if cond(v) {
-			then(v)
-			return
-		}
-		b.WaitChangeFn(addr, respin)
-	}
-	respin()
+	sp.node, sp.pid, sp.addr, sp.cond, sp.then = node, pid, addr, cond, then
+	sp.respin()
 	return nil
 }
 

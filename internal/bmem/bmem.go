@@ -122,8 +122,14 @@ type BM struct {
 	// messages.
 	onToneInit func(msg wireless.Msg, at sim.Time)
 	// sendFree recycles deferred-send continuations (see scheduleSend), so
-	// the steady-state RMW path allocates no closures.
-	sendFree []*sendCont
+	// the steady-state RMW path allocates no closures. loadFree, spinFree,
+	// storeFree and rmwFree do the same for the async face's delivery,
+	// spin-loop, commit and grant-time-RMW continuations (async.go).
+	sendFree  []*sendCont
+	loadFree  []*loadCont
+	spinFree  []*bmSpin
+	storeFree []*storeCont
+	rmwFree   []*rmwGrantCont
 	// Stats is exported for harness reporting.
 	Stats Stats
 }

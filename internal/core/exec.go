@@ -1,0 +1,30 @@
+package core
+
+// Exec selects the workload-thread execution mode of a kernel or
+// application run. Both modes produce bit-identical simulated results
+// (pinned by the equivalence suites in packages kernels and apps and the
+// golden-conformance suites in package harness); they differ only in
+// simulator wall-clock cost.
+type Exec int
+
+const (
+	// ExecTask runs workload threads in continuation form (core.Task):
+	// the whole sweep point executes on the engine goroutine with zero
+	// process switches. This is the default — and the fast path.
+	ExecTask Exec = iota
+	// ExecThread runs workload threads as blocking goroutines
+	// (core.Thread), one Go-scheduler park/unpark per forced suspension.
+	// Kept as the readable reference implementation and the equivalence
+	// baseline.
+	ExecThread
+)
+
+func (x Exec) String() string {
+	switch x {
+	case ExecTask:
+		return "task"
+	case ExecThread:
+		return "thread"
+	}
+	return "exec?"
+}

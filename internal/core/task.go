@@ -33,6 +33,11 @@ type Task struct {
 
 	st      *sim.Task
 	pending sim.Time
+	// Recycled continuation steps (steps.go), allocated on first use and
+	// reused for every subsequent operation of their family.
+	rmw *rmwOp
+	bmr *bmRetryOp
+	hw  *hwOp
 }
 
 // SpawnTask starts body as a continuation-form thread pinned to the given
@@ -106,17 +111,24 @@ func (t *Task) Sync(then func()) { t.flush(then) }
 func (t *Task) Read(addr uint64, then func(uint64)) {
 	t.st.SetReason("mem read")
 	if t.pending > 0 {
+		op := t.hwStep()
+		op.kind, op.addr64, op.thenU = hwMemRead, addr, then
 		d := t.pending
 		t.pending = 0
-		t.M.Eng.SleepThen(d, func() { t.M.Mem.ReadAsync(t.Core, addr, then) })
+		t.M.Eng.SleepThen(d, op.issueFn)
 		return
 	}
 	t.M.Mem.ReadAsync(t.Core, addr, then)
 }
 
-// Write stores val to addr through the cache hierarchy.
+// Write stores val to addr through the cache hierarchy. Like the other
+// RMW-family operations (CAS, FetchAdd, Swap) it runs on the task's
+// recycled step struct instead of capturing val and then in per-call
+// closures — see steps.go.
 func (t *Task) Write(addr uint64, val uint64, then func()) {
-	t.RMW(addr, func(uint64) (uint64, bool) { return val, true }, func(uint64) { then() })
+	op := t.rmwStep()
+	op.kind, op.val, op.then0 = rmwWrite, val, then
+	op.start(addr)
 }
 
 // RMW performs an atomic read-modify-write on cached memory; then receives
@@ -135,20 +147,25 @@ func (t *Task) RMW(addr uint64, f func(uint64) (uint64, bool), then func(uint64)
 // CAS is compare-and-swap on cached memory; then reports whether it
 // swapped.
 func (t *Task) CAS(addr, old, nv uint64, then func(bool)) {
-	t.RMW(addr, func(cur uint64) (uint64, bool) { return nv, cur == old },
-		func(got uint64) { then(got == old) })
+	op := t.rmwStep()
+	op.kind, op.old, op.val, op.thenB = rmwCAS, old, nv, then
+	op.start(addr)
 }
 
 // FetchAdd atomically adds delta to the word at addr; then receives the
 // old value.
 func (t *Task) FetchAdd(addr, delta uint64, then func(uint64)) {
-	t.RMW(addr, func(cur uint64) (uint64, bool) { return cur + delta, true }, then)
+	op := t.rmwStep()
+	op.kind, op.val, op.thenU = rmwFetchAdd, delta, then
+	op.start(addr)
 }
 
 // Swap atomically exchanges the word at addr with val; then receives the
 // old value.
 func (t *Task) Swap(addr, val uint64, then func(uint64)) {
-	t.RMW(addr, func(uint64) (uint64, bool) { return val, true }, then)
+	op := t.rmwStep()
+	op.kind, op.val, op.thenU = rmwSwap, val, then
+	op.start(addr)
 }
 
 // SpinUntil spins on cached memory until cond holds (hardware-faithful:
@@ -156,7 +173,9 @@ func (t *Task) Swap(addr, val uint64, then func(uint64)) {
 // value.
 func (t *Task) SpinUntil(addr uint64, cond func(uint64) bool, then func(uint64)) {
 	t.st.SetReason("spin")
-	t.flush(func() { t.M.Mem.SpinUntilAsync(t.Core, addr, cond, then) })
+	op := t.hwStep()
+	op.kind, op.addr64, op.cond, op.thenU = hwMemSpin, addr, cond, then
+	op.start()
 }
 
 // ---- Broadcast Memory ISA (WiSync configurations) ----
@@ -178,7 +197,9 @@ func (t *Task) must(err error) {
 func (t *Task) BMLoad(addr uint32, then func(uint64)) {
 	t.st.SetReason("bm load")
 	t.bm()
-	t.flush(func() { t.must(t.M.BM.LoadAsync(t.Core, t.PID, addr, then)) })
+	op := t.hwStep()
+	op.kind, op.addr, op.thenU = hwBMLoad, addr, then
+	op.start()
 }
 
 // BMStore broadcasts val to addr in every BM; then runs when the write
@@ -186,7 +207,9 @@ func (t *Task) BMLoad(addr uint32, then func(uint64)) {
 func (t *Task) BMStore(addr uint32, val uint64, then func()) {
 	t.st.SetReason("bm store")
 	t.bm()
-	t.flush(func() { t.must(t.M.BM.StoreAsync(t.Core, t.PID, addr, val, then)) })
+	op := t.hwStep()
+	op.kind, op.addr, op.val, op.then0 = hwBMStore, addr, val, then
+	op.start()
 }
 
 // BMRMW1 is a single hardware RMW attempt (no retry): then receives the
@@ -198,23 +221,12 @@ func (t *Task) BMRMW1(addr uint32, f func(uint64) (uint64, bool), then func(old 
 }
 
 // BMFetchAdd executes fetch&add with the Figure 4(a) retry protocol; then
-// receives the value before the add.
+// receives the value before the add. The retry loop runs on the task's
+// recycled BM step (steps.go) instead of per-call attempt closures.
 func (t *Task) BMFetchAdd(addr uint32, delta uint64, then func(uint64)) {
-	var attempt func()
-	attempt = func() {
-		t.BMRMW1(addr, func(cur uint64) (uint64, bool) { return cur + delta, true },
-			func(old uint64, ok bool) {
-				if ok {
-					then(old)
-					return
-				}
-				// AFB set: retry (a couple of pipeline cycles to check
-				// the register and branch back).
-				t.Instr(2)
-				attempt()
-			})
-	}
-	attempt()
+	op := t.bmStep()
+	op.kind, op.addr, op.delta, op.thenU = bmAdd, addr, delta, then
+	op.attempt()
 }
 
 // BMFetchInc is fetch&increment.
@@ -223,42 +235,17 @@ func (t *Task) BMFetchInc(addr uint32, then func(uint64)) { t.BMFetchAdd(addr, 1
 // BMTestAndSet sets addr to 1; then receives the previous value, after
 // retrying on atomicity failure.
 func (t *Task) BMTestAndSet(addr uint32, then func(uint64)) {
-	var attempt func()
-	attempt = func() {
-		t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
-			if cur != 0 {
-				return cur, false // already set; read is enough
-			}
-			return 1, true
-		}, func(old uint64, ok bool) {
-			if ok {
-				then(old)
-				return
-			}
-			t.Instr(2)
-			attempt()
-		})
-	}
-	attempt()
+	op := t.bmStep()
+	op.kind, op.addr, op.thenU = bmTAS, addr, then
+	op.attempt()
 }
 
 // BMCAS executes compare-and-swap with the Figure 4(b) protocol; then
 // reports whether the swap was performed.
 func (t *Task) BMCAS(addr uint32, old, nv uint64, then func(bool)) {
-	var attempt func()
-	attempt = func() {
-		t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
-			return nv, cur == old
-		}, func(cur uint64, ok bool) {
-			if ok {
-				then(cur == old)
-				return
-			}
-			t.Instr(2)
-			attempt()
-		})
-	}
-	attempt()
+	op := t.bmStep()
+	op.kind, op.addr, op.old, op.nv, op.thenB = bmCAS, addr, old, nv, then
+	op.attempt()
 }
 
 // BMSpinUntil spins on the local BM replica until cond holds; then
@@ -266,7 +253,9 @@ func (t *Task) BMCAS(addr uint32, old, nv uint64, then func(bool)) {
 func (t *Task) BMSpinUntil(addr uint32, cond func(uint64) bool, then func(uint64)) {
 	t.st.SetReason("bm spin")
 	t.bm()
-	t.flush(func() { t.must(t.M.BM.SpinUntilAsync(t.Core, t.PID, addr, cond, then)) })
+	op := t.hwStep()
+	op.kind, op.addr, op.cond, op.thenU = hwBMSpin, addr, cond, then
+	op.start()
 }
 
 // ---- Tone channel ISA (full WiSync only) ----
@@ -281,14 +270,16 @@ func (t *Task) toneHW() {
 func (t *Task) ToneStore(addr uint32, then func()) {
 	t.st.SetReason("tone store")
 	t.toneHW()
-	t.flush(func() { t.must(t.M.Tone.ToneStoreAsync(t.Core, t.PID, addr, then)) })
+	op := t.hwStep()
+	op.kind, op.addr, op.then0 = hwToneStore, addr, then
+	op.start()
 }
 
 // ToneWait spins with tone_ld until the barrier variable equals want.
 func (t *Task) ToneWait(addr uint32, want uint64, then func()) {
 	t.st.SetReason("tone wait")
 	t.toneHW()
-	t.flush(func() {
-		t.must(t.M.Tone.WaitToggleAsync(t.Core, t.PID, addr, want, func(uint64) { then() }))
-	})
+	op := t.hwStep()
+	op.kind, op.addr, op.val, op.then0 = hwToneWait, addr, want, then
+	op.start()
 }

@@ -44,6 +44,15 @@ type Options struct {
 	// It has no effect on wired configurations. MACSweep ignores it — it
 	// compares all protocols.
 	MAC wireless.MACKind
+	// Exec selects the workload execution mode for the full-application
+	// sweeps (Fig10, Table5, Fig11). The zero value is the task
+	// (continuation) mode — the fast path; ExecThread runs the blocking
+	// reference interpreter. Simulated results are identical either way.
+	Exec kernels.Exec
+	// Verbose appends scheduler-internals diagnostics to each application
+	// sweep: a "# sched" line aggregating timing-wheel hits, heap
+	// fallbacks and recycled-step pool reuse across the sweep's engines.
+	Verbose bool
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 }
@@ -306,6 +315,19 @@ type AppRow struct {
 	Speedup  map[config.Kind]float64
 	UtilWNoT float64 // Data-channel utilization %, WiSyncNoT
 	UtilW    float64 // Data-channel utilization %, WiSync
+	// Sched aggregates the scheduler-internals counters over the app's
+	// four runs, for Options.Verbose diagnostics.
+	Sched sim.SchedStats
+}
+
+// fprintSched renders the aggregated scheduler counters of a sweep as a
+// self-describing comment line, when Options.Verbose asks for it.
+func fprintSched(o Options, what string, s sim.SchedStats) {
+	if !o.Verbose {
+		return
+	}
+	fmt.Fprintf(o.out(), "# sched %s: wheel-events=%d heap-fallbacks=%d step-pool-hits=%d step-pool-misses=%d\n",
+		what, s.WheelEvents, s.HeapEvents, s.StepPoolHits, s.StepPoolMisses)
 }
 
 // appKinds is the per-application run order of Fig10 and Fig11: the
@@ -332,7 +354,7 @@ func Fig10(o Options) []AppRow {
 	o.forEach(len(results), func(i int) {
 		cfg := base
 		cfg.Kind = appKinds[i%len(appKinds)]
-		results[i] = apps.Run(cfg, profiles[i/len(appKinds)])
+		results[i] = apps.RunExec(cfg, profiles[i/len(appKinds)], o.Exec)
 	})
 	var rows []AppRow
 	tb := stats.NewTable("Figure 10: speedup over Baseline, 64 cores",
@@ -341,9 +363,11 @@ func Fig10(o Options) []AppRow {
 	for pi, p := range profiles {
 		row := AppRow{Name: p.Name, Speedup: map[config.Kind]float64{config.Baseline: 1}}
 		baseline := results[pi*len(appKinds)]
+		row.Sched.Add(baseline.Sched)
 		for ki, k := range appKinds[1:] {
 			r := results[pi*len(appKinds)+1+ki]
 			row.Speedup[k] = float64(baseline.Cycles) / float64(r.Cycles)
+			row.Sched.Add(r.Sched)
 			switch k {
 			case config.WiSyncNoT:
 				row.UtilWNoT = r.DataUtilPct
@@ -361,7 +385,17 @@ func Fig10(o Options) []AppRow {
 	tb.AddRow("mean", f2(stats.Mean(bp)), f2(stats.Mean(wnt)), f2(stats.Mean(w)))
 	tb.AddRow("geoMean", f2(stats.GeoMean(bp)), f2(stats.GeoMean(wnt)), f2(stats.GeoMean(w)))
 	fmt.Fprintln(o.out(), tb)
+	fprintSched(o, "fig10", sumSched(rows))
 	return rows
+}
+
+// sumSched aggregates the scheduler counters across app rows.
+func sumSched(rows []AppRow) sim.SchedStats {
+	var s sim.SchedStats
+	for _, r := range rows {
+		s.Add(r.Sched)
+	}
+	return s
 }
 
 // Table5 reproduces Table 5: Data-channel utilization of WiSyncNoT and
@@ -393,6 +427,7 @@ func Table5(o Options, rows []AppRow) {
 	}
 	tb.AddRow("GM(all)", f2(stats.GeoMean(wt)), f2(stats.GeoMean(w)))
 	fmt.Fprintln(o.out(), tb)
+	fprintSched(o, "table5", sumSched(rows))
 }
 
 // Fig11Row is one sensitivity point: geomean speedup over Baseline under a
@@ -423,7 +458,7 @@ func Fig11(o Options) []Fig11Row {
 		p := profiles[i/nk%len(profiles)]
 		cfg := o.Config(config.Baseline, 64).WithVariant(v)
 		cfg.Kind = appKinds[i%nk]
-		results[i] = apps.Run(cfg, p)
+		results[i] = apps.RunExec(cfg, p, o.Exec)
 	})
 	var rows []Fig11Row
 	tb := stats.NewTable("Figure 11: geomean speedup over Baseline by variant, 64 cores",
@@ -444,6 +479,11 @@ func Fig11(o Options) []Fig11Row {
 			f2(stats.GeoMean(acc[config.WiSyncNoT])), f2(stats.GeoMean(acc[config.WiSync])))
 	}
 	fmt.Fprintln(o.out(), tb)
+	var sched sim.SchedStats
+	for _, r := range results {
+		sched.Add(r.Sched)
+	}
+	fprintSched(o, "fig11", sched)
 	return rows
 }
 

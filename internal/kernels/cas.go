@@ -145,51 +145,10 @@ func CASKernelExec(cfg config.Config, kind CASKind, csInstr int, duration sim.Ti
 			tvars[i] = syncprims.AsTaskVar(v)
 		}
 		m.SpawnAllTasks(func(t *core.Task) {
-			rng := threadRand(t.Core)
-			t.Instr(rng.Intn(csInstr + 1))
-			op := 0
-			var period func()
-			period = func() {
-				// This loop never finishes: RunUntil's horizon cuts the
-				// run, exactly as it kills the blocking threads.
-				t.Instr(csInstr - csInstr/8 + rng.Intn(csInstr/4+1))
-				v := tvars[0]
-				if kind == FIFO && op%2 == 1 {
-					v = tvars[1]
-				}
-				op++
-				t.Write(nodeLines[t.Core], rng.Uint64(), func() {
-					switch {
-					case kind == ADD:
-						t.Instr(8)
-					case op%2 == 1:
-						t.Instr(2)
-					default:
-						t.Instr(4)
-					}
-					backoff := 8
-					var attempt func()
-					attempt = func() {
-						v.LoadTask(t, func(old uint64) {
-							v.CASTask(t, old, old+1, func(ok bool) {
-								if ok {
-									successes++
-									period()
-									return
-								}
-								failures++
-								t.Instr(backoff + rng.Intn(backoff))
-								if backoff < 2048 {
-									backoff *= 2
-								}
-								attempt()
-							})
-						})
-					}
-					attempt()
-				})
-			}
-			period()
+			s := newCASStep(t, kind, tvars, nodeLines[t.Core], csInstr,
+				threadRand(t.Core), &successes, &failures)
+			t.Instr(s.rng.Intn(csInstr + 1))
+			s.period()
 		})
 	}
 	if err := m.RunUntil(duration); err != nil {
@@ -209,4 +168,96 @@ func CASKernelExec(cfg config.Config, kind CASKind, csInstr int, duration sim.Ti
 		r.MAC = m.Net.MACCounters()
 	}
 	return r
+}
+
+// casStep is one task's recycled state machine for the CAS-kernel work
+// period: private work, node preparation, then the lock-free update loop
+// with exponential backoff. The closure form captured the target variable,
+// the backoff state and the loaded value in fresh closures on every
+// operation; here they are struct fields and the continuations are method
+// values cached at construction, so the steady state allocates nothing.
+// The period never finishes on its own — RunUntil's horizon cuts the run,
+// exactly as it kills the blocking threads.
+type casStep struct {
+	t       *core.Task
+	kind    CASKind
+	vars    []syncprims.TaskVar
+	node    uint64
+	csInstr int
+	rng     *sim.Rand
+
+	op      int
+	backoff int
+	v       syncprims.TaskVar
+
+	successes, failures *uint64
+
+	afterWriteFn func()
+	onLoadFn     func(uint64)
+	onCASFn      func(bool)
+}
+
+func newCASStep(t *core.Task, kind CASKind, vars []syncprims.TaskVar, node uint64,
+	csInstr int, rng *sim.Rand, successes, failures *uint64) *casStep {
+	t.M.Eng.StepPoolMiss()
+	s := &casStep{t: t, kind: kind, vars: vars, node: node, csInstr: csInstr,
+		rng: rng, successes: successes, failures: failures}
+	s.afterWriteFn = s.afterWrite
+	s.onLoadFn = s.onLoad
+	s.onCASFn = s.onCAS
+	return s
+}
+
+// period runs one work period: the jittered private work, the target
+// pointer choice (FIFO alternates enqueue/dequeue), and the private node
+// write.
+func (s *casStep) period() {
+	if s.op > 0 {
+		// Reuse of the recycled struct; the first period ran on the
+		// fresh allocation counted in newCASStep.
+		s.t.M.Eng.StepPoolHit()
+	}
+	s.t.Instr(s.csInstr - s.csInstr/8 + s.rng.Intn(s.csInstr/4+1))
+	s.v = s.vars[0]
+	if s.kind == FIFO && s.op%2 == 1 {
+		s.v = s.vars[1]
+	}
+	s.op++
+	s.t.Write(s.node, s.rng.Uint64(), s.afterWriteFn)
+}
+
+func (s *casStep) afterWrite() {
+	// Prepare the private node. ADD builds a full node from the pool each
+	// time; LIFO's pop half and FIFO's dequeue half touch less private
+	// state.
+	switch {
+	case s.kind == ADD:
+		s.t.Instr(8)
+	case s.op%2 == 1:
+		s.t.Instr(2)
+	default:
+		s.t.Instr(4)
+	}
+	s.backoff = 8
+	s.attempt()
+}
+
+func (s *casStep) attempt() { s.v.LoadTask(s.t, s.onLoadFn) }
+
+func (s *casStep) onLoad(old uint64) {
+	s.v.CASTask(s.t, old, old+1, s.onCASFn)
+}
+
+func (s *casStep) onCAS(ok bool) {
+	if ok {
+		*s.successes++
+		s.period()
+		return
+	}
+	*s.failures++
+	s.t.Instr(s.backoff + s.rng.Intn(s.backoff))
+	if s.backoff < 2048 {
+		s.backoff *= 2
+	}
+	s.attempt()
 }

@@ -76,22 +76,19 @@ func (r Result) String() string {
 // wordsPerLine is how many 64-bit elements share a cache line.
 const wordsPerLine = mem.LineBytes / 8
 
-// Exec selects the workload-thread execution mode of a kernel run. Both
-// modes produce bit-identical simulated results (pinned by the equivalence
-// suite in this package and the golden-conformance suite in package
-// harness); they differ only in simulator wall-clock cost.
-type Exec int
+// Exec selects the workload-thread execution mode of a kernel run. It is
+// core.Exec, shared with package apps: ExecTask runs workload threads in
+// continuation form on the engine goroutine (the default and the fast
+// path), ExecThread as blocking goroutines (the readable reference and the
+// equivalence baseline). Both modes produce bit-identical simulated results
+// (pinned by the equivalence suite in this package and the golden-
+// conformance suite in package harness); they differ only in simulator
+// wall-clock cost.
+type Exec = core.Exec
 
 const (
-	// ExecTask runs workload threads in continuation form (core.Task):
-	// the whole sweep point executes on the engine goroutine with zero
-	// process switches. This is the default — and the fast path.
-	ExecTask Exec = iota
-	// ExecThread runs workload threads as blocking goroutines
-	// (core.Thread), one Go-scheduler park/unpark per forced suspension.
-	// Kept as the readable reference implementation and the equivalence
-	// baseline.
-	ExecThread
+	ExecTask   = core.ExecTask
+	ExecThread = core.ExecThread
 )
 
 // readRange charges cache accesses for a sequential sweep over elements
@@ -109,28 +106,63 @@ func readRange(t *core.Thread, base uint64, lo, hi, instrsPerElem int) {
 	t.Instr((hi - lo) * instrsPerElem)
 }
 
-// readRangeTask is readRange in continuation form: the same line reads in
-// the same order, then the same instruction charge, then `then`.
-func readRangeTask(t *core.Task, base uint64, lo, hi, instrsPerElem int, then func()) {
+// readRanger is readRange in continuation form — the same line reads in
+// the same order, then the same instruction charge, then `then` — as a
+// recycled step struct: each task allocates one ranger and reuses it for
+// every range sweep, so the steady state captures nothing per call (the
+// closure form allocated a step closure, an onRead closure, and their
+// shared capture record per range). A ranger runs one sweep at a time; the
+// completion continuation may start the next sweep on the same ranger.
+type readRanger struct {
+	t      *core.Task
+	a      uint64 // next line address
+	last   uint64 // last line address
+	instrs int    // instruction charge once the sweep completes
+	then   func()
+	used   bool // a sweep already ran; later runs are pool reuses
+
+	onReadFn func(uint64)
+}
+
+func newReadRanger(t *core.Task) *readRanger {
+	t.M.Eng.StepPoolMiss()
+	r := &readRanger{t: t}
+	r.onReadFn = r.onRead
+	return r
+}
+
+// run charges cache accesses for a sequential sweep over elements [lo, hi)
+// of the array starting at base, plus instrsPerElem instructions per
+// element, then runs then.
+func (r *readRanger) run(base uint64, lo, hi, instrsPerElem int, then func()) {
 	if hi <= lo {
 		then()
 		return
 	}
-	a := (base + uint64(lo)*8) &^ (mem.LineBytes - 1)
-	last := base + uint64(hi-1)*8
-	var step func()
-	onRead := func(uint64) { step() }
-	step = func() {
-		if a > last {
-			t.Instr((hi - lo) * instrsPerElem)
-			then()
-			return
-		}
-		addr := a
-		a += mem.LineBytes
-		t.Read(addr, onRead)
+	if r.used {
+		r.t.M.Eng.StepPoolHit()
 	}
-	step()
+	r.used = true
+	r.a = (base + uint64(lo)*8) &^ (mem.LineBytes - 1)
+	r.last = base + uint64(hi-1)*8
+	r.instrs = (hi - lo) * instrsPerElem
+	r.then = then
+	r.step()
+}
+
+func (r *readRanger) onRead(uint64) { r.step() }
+
+func (r *readRanger) step() {
+	if r.a > r.last {
+		then := r.then
+		r.then = nil
+		r.t.Instr(r.instrs)
+		then()
+		return
+	}
+	addr := r.a
+	r.a += mem.LineBytes
+	r.t.Read(addr, r.onReadFn)
 }
 
 // TightLoop runs the paper's TightLoop kernel (Section 6): every thread
@@ -165,18 +197,18 @@ func TightLoopExec(cfg config.Config, iters int, exec Exec) Result {
 	} else {
 		tb := syncprims.AsTaskBarrier(b)
 		m.SpawnAllTasks(func(t *core.Task) {
+			rr := newReadRanger(t)
 			it := 0
-			var iter func()
+			var iter, afterRead func()
 			iter = func() {
 				if it == iters {
 					t.Finish()
 					return
 				}
 				it++
-				readRangeTask(t, arrays[t.Core], 0, elems, 2, func() {
-					tb.WaitTask(t, iter)
-				})
+				rr.run(arrays[t.Core], 0, elems, 2, afterRead)
 			}
+			afterRead = func() { tb.WaitTask(t, iter) }
 			iter()
 		})
 	}
@@ -196,11 +228,4 @@ func chunk(n, w, p int) (lo, hi int) {
 		hi++
 	}
 	return lo, hi
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

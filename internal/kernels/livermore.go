@@ -81,6 +81,7 @@ func Livermore2Exec(cfg config.Config, n int, passes int, exec Exec) (Result, []
 	} else {
 		tb := syncprims.AsTaskBarrier(b)
 		m.SpawnAllTasks(func(t *core.Task) {
+			rr := newReadRanger(t)
 			pass, ii, ipnt, ipntp, lo, hi := 0, 0, 0, 0, 0, 0
 			var startPass, wave, afterStage func()
 			startPass = func() {
@@ -105,8 +106,8 @@ func Livermore2Exec(cfg config.Config, n int, passes int, exec Exec) (Result, []
 				stage(t.Core, ipnt, lo, hi)
 				if hi > lo {
 					rlo, rhi := ipnt+2*lo, ipnt+2*hi
-					readRangeTask(t, xBase, rlo, rhi, 4, func() {
-						readRangeTask(t, vBase, rlo, rhi, 4, func() {
+					rr.run(xBase, rlo, rhi, 4, func() {
+						rr.run(vBase, rlo, rhi, 4, func() {
 							tb.WaitTask(t, afterStage)
 						})
 					})
@@ -117,7 +118,7 @@ func Livermore2Exec(cfg config.Config, n int, passes int, exec Exec) (Result, []
 			afterStage = func() {
 				publish(t.Core, ipntp, lo, hi)
 				if hi > lo {
-					readRangeTask(t, xBase, ipntp+lo, ipntp+hi, 1, func() {
+					rr.run(xBase, ipntp+lo, ipntp+hi, 1, func() {
 						tb.WaitTask(t, wave)
 					})
 					return
@@ -174,6 +175,7 @@ func Livermore3Exec(cfg config.Config, n int, passes int, exec Exec) (Result, fl
 	} else {
 		tb := syncprims.AsTaskBarrier(b)
 		m.SpawnAllTasks(func(t *core.Task) {
+			rr := newReadRanger(t)
 			lo, hi := chunk(n, t.Core, cfg.Cores)
 			pass := 0
 			var iter func()
@@ -188,8 +190,8 @@ func Livermore3Exec(cfg config.Config, n int, passes int, exec Exec) (Result, fl
 					q += z[k] * xv[k]
 				}
 				partials[t.Core] = q
-				readRangeTask(t, zBase, lo, hi, 1, func() {
-					readRangeTask(t, xBase, lo, hi, 1, func() {
+				rr.run(zBase, lo, hi, 1, func() {
+					rr.run(xBase, lo, hi, 1, func() {
 						red.AddTask(t, uint64(int64(q)), func() {
 							tb.WaitTask(t, iter)
 						})
@@ -271,6 +273,7 @@ func Livermore6Exec(cfg config.Config, n int, exec Exec) (Result, []float64) {
 	} else {
 		tb := syncprims.AsTaskBarrier(b)
 		m.SpawnAllTasks(func(t *core.Task) {
+			rr := newReadRanger(t)
 			i := 1
 			var step, serial, next func()
 			step = func() {
@@ -282,8 +285,8 @@ func Livermore6Exec(cfg config.Config, n int, exec Exec) (Result, []float64) {
 				accumulate(t.Core, i, lo, hi)
 				if hi > lo {
 					rl, rh, wl, wh := lo, hi, i-hi, i-lo
-					readRangeTask(t, bBase, rl, rh, 2, func() {
-						readRangeTask(t, wBase, wl, wh, 2, func() {
+					rr.run(bBase, rl, rh, 2, func() {
+						rr.run(wBase, wl, wh, 2, func() {
 							tb.WaitTask(t, serial)
 						})
 					})

@@ -9,6 +9,48 @@ package mem
 // comment's execution-model section; the golden-conformance suite pins the
 // equivalence end to end).
 
+// hitCont is a recycled L1-hit delivery continuation: the "sleep the L1
+// round trip, then hand over the value" step of ReadAsync and RMWAsync,
+// which would otherwise capture addr and then in a fresh closure on the
+// hottest path in the simulator. useOld distinguishes the two delivery
+// semantics: an RMW hit linearizes at issue time and delivers the captured
+// old value; a read hit samples the word at fire time, exactly as the
+// closure forms did.
+type hitCont struct {
+	s      *System
+	addr   uint64
+	old    uint64
+	useOld bool
+	then   func(uint64)
+	fn     func() // cached method value of run
+}
+
+func (s *System) newHitCont(addr, old uint64, useOld bool, then func(uint64)) *hitCont {
+	var c *hitCont
+	if n := len(s.hitFree); n > 0 {
+		c = s.hitFree[n-1]
+		s.hitFree = s.hitFree[:n-1]
+		s.eng.StepPoolHit()
+	} else {
+		c = &hitCont{s: s}
+		c.fn = c.run
+		s.eng.StepPoolMiss()
+	}
+	c.addr, c.old, c.useOld, c.then = addr, old, useOld, then
+	return c
+}
+
+func (c *hitCont) run() {
+	s, then := c.s, c.then
+	v := c.old
+	if !c.useOld {
+		v = s.wordAt(c.addr)
+	}
+	c.then = nil
+	s.hitFree = append(s.hitFree, c)
+	then(v)
+}
+
 // ReadAsync is the continuation mirror of Read: then receives the loaded
 // value at the cycle Read would have returned.
 func (s *System) ReadAsync(core int, addr uint64, then func(uint64)) {
@@ -16,7 +58,7 @@ func (s *System) ReadAsync(core int, addr uint64, then func(uint64)) {
 	c := &s.l1[core]
 	if sl := c.lookup(s.setsMask(), line); sl != nil {
 		s.Stats.L1Hits++
-		s.eng.SleepThen(s.p.L1RT, func() { then(s.wordAt(addr)) })
+		s.eng.SleepThen(s.p.L1RT, s.newHitCont(addr, 0, false, then).fn)
 		return
 	}
 	s.Stats.L1Misses++
@@ -44,31 +86,64 @@ func (s *System) RMWAsync(core int, addr uint64, f func(uint64) (uint64, bool), 
 		if nv, do := f(old); do {
 			le.words[wordIdx(addr)] = nv
 		}
-		s.eng.SleepThen(s.p.L1RT, func() { then(old) })
+		s.eng.SleepThen(s.p.L1RT, s.newHitCont(addr, old, true, then).fn)
 		return
 	}
 	s.Stats.L1Misses++
 	s.transactAsync(core, line, addr, f, then)
 }
 
+// memSpin is a recycled spin loop: the onVal/respin continuation pair of
+// SpinUntilAsync as struct fields and cached method values. Spins from
+// different cores overlap, so the structs pool on the System (like txn)
+// rather than living one-per-core; a spin returns to the pool the moment
+// its condition is satisfied.
+type memSpin struct {
+	s    *System
+	core int
+	addr uint64
+	line uint64
+	cond func(uint64) bool
+	then func(uint64)
+
+	onValFn  func(uint64)
+	respinFn func()
+}
+
+func (sp *memSpin) respin() { sp.s.ReadAsync(sp.core, sp.addr, sp.onValFn) }
+
+func (sp *memSpin) onVal(v uint64) {
+	s := sp.s
+	if sp.cond(v) {
+		then := sp.then
+		sp.cond, sp.then = nil, nil
+		s.spinFree = append(s.spinFree, sp)
+		then(v)
+		return
+	}
+	c := &s.l1[sp.core]
+	if sl := c.lookup(s.setsMask(), sp.line); sl == nil {
+		sp.respin() // already invalidated again; re-read
+		return
+	}
+	c.spinQueue(sp.line).WaitFn(s.eng, sp.respinFn)
+}
+
 // SpinUntilAsync is the continuation mirror of SpinUntil: it re-reads addr
 // on every invalidation of the locally cached line, with no traffic in
 // between, until cond holds; then receives the satisfying value.
 func (s *System) SpinUntilAsync(core int, addr uint64, cond func(uint64) bool, then func(uint64)) {
-	line := Line(addr)
-	c := &s.l1[core]
-	var onVal func(uint64)
-	respin := func() { s.ReadAsync(core, addr, onVal) }
-	onVal = func(v uint64) {
-		if cond(v) {
-			then(v)
-			return
-		}
-		if sl := c.lookup(s.setsMask(), line); sl == nil {
-			respin() // already invalidated again; re-read
-			return
-		}
-		c.spinQueue(line).WaitFn(s.eng, respin)
+	var sp *memSpin
+	if n := len(s.spinFree); n > 0 {
+		sp = s.spinFree[n-1]
+		s.spinFree = s.spinFree[:n-1]
+		s.eng.StepPoolHit()
+	} else {
+		sp = &memSpin{s: s}
+		sp.onValFn = sp.onVal
+		sp.respinFn = sp.respin
+		s.eng.StepPoolMiss()
 	}
-	respin()
+	sp.core, sp.addr, sp.line, sp.cond, sp.then = core, addr, Line(addr), cond, then
+	sp.respin()
 }

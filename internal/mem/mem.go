@@ -196,8 +196,11 @@ type System struct {
 	mc    [4]sim.AsyncResource
 	// txnFree recycles transaction state machines; the engine is single-
 	// threaded, so a plain freelist suffices and steady-state transactions
-	// allocate nothing.
-	txnFree []*txn
+	// allocate nothing. hitFree and spinFree do the same for the async
+	// face's L1-hit delivery and spin-loop continuations (async.go).
+	txnFree  []*txn
+	hitFree  []*hitCont
+	spinFree []*memSpin
 	// Stats is exported for harness reporting.
 	Stats Stats
 	// TraceLine and Trace enable transaction tracing for one line, for

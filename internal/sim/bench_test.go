@@ -5,23 +5,39 @@ import "testing"
 // BenchmarkScheduleDrain measures raw event-queue throughput: callback
 // events pushed at scattered timestamps, then drained in order. ns/op is
 // the cost of one schedule + one dispatch; allocs/op must stay 0 — events
-// are stored by value in the queue's reused slice.
+// are stored by value in the queue's reused slices. The variants pin both
+// levels of the composite queue and their merge:
+//
+//   - wheel: offsets within the wheel horizon, the simulator's dominant
+//     2–110-cycle sleep regime — O(1) bucket pushes, bitmap-scan pops.
+//   - heap: offsets past the horizon, so every event takes the 4-ary heap
+//     fallback and crosses into the wheel window only as the clock chases
+//     it (pure far-future scheduling).
+//   - mixed: offsets straddling the horizon, exercising the wheel/heap
+//     min-merge on every pop.
 func BenchmarkScheduleDrain(b *testing.B) {
-	e := NewEngine(1)
-	nop := func() {}
-	const batch = 512
-	b.ReportAllocs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n += batch {
-		for j := 0; j < batch; j++ {
-			// Scattered but deterministic offsets exercise real heap
-			// movement rather than FIFO order.
-			e.Schedule(Time(j*13%257), nop)
-		}
-		if err := e.Run(); err != nil {
-			b.Fatal(err)
+	run := func(span int, base Time) func(b *testing.B) {
+		return func(b *testing.B) {
+			e := NewEngine(1)
+			nop := func() {}
+			const batch = 512
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				for j := 0; j < batch; j++ {
+					// Scattered but deterministic offsets exercise real
+					// queue movement rather than FIFO order.
+					e.Schedule(base+Time(j*13%span), nop)
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	b.Run("wheel", run(251, 0))
+	b.Run("heap", run(1021, wheelSpan))
+	b.Run("mixed", run(1021, 0))
 }
 
 // BenchmarkProcSwitch measures a full process context switch: two

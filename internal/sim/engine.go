@@ -5,9 +5,10 @@
 //
 // The engine advances a cycle-resolution clock and executes events in
 // (time, priority, sequence) order, so identical inputs always produce
-// identical simulations. Events live in a typed 4-ary min-heap; scheduling
-// one is an append into a reused slice, never a per-event heap allocation.
-// Hardware models are written in one of two styles:
+// identical simulations. Events live in a two-level queue (see "Timing
+// wheel" below); scheduling one is an append into a reused slice, never a
+// per-event heap allocation. Hardware models are written in one of two
+// styles:
 //
 //   - Callback events (Schedule/ScheduleAt): plain functions the engine
 //     invokes inline from its run loop. This is the fast path — one event
@@ -91,6 +92,25 @@
 // stack depth: each continuation returns to the scheduler before the next
 // one runs, so continuation-form loops never recurse.
 //
+// # Timing wheel
+//
+// Event storage is hierarchical: a small timing wheel of one-cycle buckets
+// in front of a typed 4-ary min-heap (queue.go). The simulator's sleeps
+// are overwhelmingly short — cache round trips, channel slots, backoff
+// windows and barrier episodes land 2–110 cycles ahead — so almost every
+// event is scheduled within the wheel horizon (256 cycles) and costs an
+// O(1) bucket append and a bitmap-scan pop, no comparisons. The rare
+// far-future event (an application's long compute phase, an open-ended run
+// horizon) falls back to the heap, and first/pop merge the two levels by
+// comparing their minima, so the composite dispatches in exactly the
+// (time, priority, sequence) order a single heap would — the fuzz/oracle
+// suite in queue_fuzz_test.go drives both against container/heap,
+// including events that cross the horizon between push and pop and
+// same-tick priority ties. Within a bucket, PrioNormal and PrioLate events
+// live in separate FIFOs (sequence numbers are monotone, so FIFO order is
+// dispatch order). SchedStats reports the wheel-hit / heap-fallback split,
+// surfaced by wisync-bench -v.
+//
 // # Determinism
 //
 // The engine owns all randomness through a seeded splitmix64 generator,
@@ -149,6 +169,10 @@ type Engine struct {
 	pv      any
 	pstack  []byte
 	stopped bool
+	// Recycled-step pool counters, reported by workload layers through
+	// StepPoolHit/StepPoolMiss.
+	stepPoolHits   uint64
+	stepPoolMisses uint64
 }
 
 // NewEngine returns an engine whose random stream is derived from seed.
@@ -161,6 +185,53 @@ func NewEngine(seed uint64) *Engine {
 		tasks:   make(map[*Task]struct{}),
 	}
 }
+
+// SchedStats are the engine's scheduling-internals counters: how events were
+// stored (timing wheel vs heap fallback) and how the workload layers'
+// recycled continuation steps were obtained (pool reuse vs fresh
+// allocation). They describe simulator mechanics, not simulated behavior —
+// two execution modes of the same workload produce identical simulated
+// results but different SchedStats — and exist so sweeps are diagnosable
+// without a profiler (wisync-bench -v).
+type SchedStats struct {
+	// WheelEvents counts events stored in the timing wheel (scheduled
+	// within wheelSpan cycles of the clock).
+	WheelEvents uint64
+	// HeapEvents counts far-future events that fell back to the 4-ary heap.
+	HeapEvents uint64
+	// StepPoolHits counts recycled-step reuses reported by workload layers
+	// via StepPoolHit; StepPoolMisses counts the fresh allocations.
+	StepPoolHits   uint64
+	StepPoolMisses uint64
+}
+
+// Add accumulates other into s, for aggregating counters across sweep
+// points.
+func (s *SchedStats) Add(other SchedStats) {
+	s.WheelEvents += other.WheelEvents
+	s.HeapEvents += other.HeapEvents
+	s.StepPoolHits += other.StepPoolHits
+	s.StepPoolMisses += other.StepPoolMisses
+}
+
+// SchedStats returns the engine's scheduling counters.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{
+		WheelEvents:    e.q.wheelHits,
+		HeapEvents:     e.q.heapFallbacks,
+		StepPoolHits:   e.stepPoolHits,
+		StepPoolMisses: e.stepPoolMisses,
+	}
+}
+
+// StepPoolHit records one recycled-step reuse. Workload layers that keep
+// per-task step structs (kernels, apps, core's recycled operations) report
+// through these so -v sweeps can confirm the steady state allocates
+// nothing.
+func (e *Engine) StepPoolHit() { e.stepPoolHits++ }
+
+// StepPoolMiss records one fresh step allocation.
+func (e *Engine) StepPoolMiss() { e.stepPoolMisses++ }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -185,7 +256,7 @@ func (e *Engine) ScheduleAt(t Time, prio Priority, fn func()) {
 	if prio == PrioLate {
 		key |= prioBit
 	}
-	e.q.push(event{t: t, key: key, fn: fn})
+	e.q.push(event{t: t, key: key, fn: fn}, e.now)
 }
 
 // scheduleProc enqueues a dispatch of p after d cycles. Unlike Schedule it
@@ -197,7 +268,7 @@ func (e *Engine) scheduleProc(d Time, p *Proc) {
 		panic(fmt.Sprintf("sim: wake of %s after %d cycles overflows the clock", p.name, d))
 	}
 	e.seq++
-	e.q.push(event{t: t, key: e.seq, p: p})
+	e.q.push(event{t: t, key: e.seq, p: p}, e.now)
 }
 
 // DeadlockError reports that the event queue drained while processes were
@@ -277,7 +348,11 @@ const (
 // deadlocking on a send-to-self, and costs no channel operation at all.
 func (e *Engine) runEvents(self *Proc) tokenState {
 	for {
-		if e.pv != nil || e.q.len() == 0 || e.q.min().t > e.limit {
+		if e.pv != nil {
+			return tokenDone
+		}
+		head := e.q.first()
+		if head == nil || head.t > e.limit {
 			return tokenDone
 		}
 		ev := e.q.pop()

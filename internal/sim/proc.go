@@ -123,8 +123,8 @@ func (p *Proc) Sleep(d Time) {
 		// At equal times this event's sequence is the largest, so it only
 		// precedes the queue head on a strictly earlier time — or the same
 		// time when the head is PrioLate and this wake is PrioNormal.
-		if q := &e.q; len(q.ev) == 0 ||
-			t < q.ev[0].t || (t == q.ev[0].t && q.ev[0].key >= prioBit) {
+		if head := e.q.first(); head == nil ||
+			t < head.t || (t == head.t && head.key >= prioBit) {
 			e.seq++
 			e.now = t
 			return

@@ -5,8 +5,8 @@ import (
 	"testing"
 )
 
-// refHeap is the straightforward container/heap implementation the typed
-// 4-ary queue replaced. It is the oracle: both queues must dispatch the
+// refHeap is a straightforward container/heap implementation of the event
+// order. It is the oracle: the composite wheel+heap queue must dispatch the
 // same events in the same (time, priority, sequence) order under any
 // interleaving of schedules and pops.
 type refHeap []event
@@ -23,12 +23,45 @@ func (h *refHeap) Pop() any {
 	return ev
 }
 
-// queueOracle drives the production queue and the reference heap through
-// the same operation stream and fails on the first divergence. Each byte of
-// ops is one operation: low bits pick push-vs-pop, the rest perturb the
-// timestamp and priority, reproducing the engine's real usage — monotone
-// base time, small forward offsets, occasional PrioLate, interleaved pops
-// (including pops that empty the queue, exercising slot zeroing).
+// checkZeroedSlots asserts every vacated slot in the production queue is
+// zeroed — the heap's popped tail slot and the consumed prefix of every
+// wheel bucket — or the popped events' closures (and everything they
+// capture) stay pinned by the backing arrays.
+func checkZeroedSlots(t *testing.T, q *eventQueue, opIdx int) {
+	t.Helper()
+	if n := len(q.h.ev); n < cap(q.h.ev) {
+		if tail := q.h.ev[:n+1][n]; tail.fn != nil || tail.p != nil {
+			t.Fatalf("op %d: popped heap slot %d not zeroed", opIdx, n)
+		}
+	}
+	for i := range q.w.b {
+		b := &q.w.b[i]
+		for j := 0; j < b.normal.head; j++ {
+			if ev := &b.normal.ev[j]; ev.fn != nil || ev.p != nil {
+				t.Fatalf("op %d: consumed wheel slot (bucket %d, normal %d) not zeroed", opIdx, i, j)
+			}
+		}
+		for j := 0; j < b.late.head; j++ {
+			if ev := &b.late.ev[j]; ev.fn != nil || ev.p != nil {
+				t.Fatalf("op %d: consumed wheel slot (bucket %d, late %d) not zeroed", opIdx, i, j)
+			}
+		}
+	}
+}
+
+// queueOracle drives the production wheel+heap composite and the reference
+// heap through the same operation stream and fails on the first divergence.
+// Each byte of ops is one operation, reproducing the engine's real usage —
+// monotone base time, pushes never in the past, interleaved pops (including
+// pops that empty the queue):
+//
+//	op&3 == 3: pop
+//	op&3 == 2: far-future push at now + 200 + (op>>3)*97 — offsets from
+//	           just inside the wheel horizon to ~12x past it, so events
+//	           land in the heap and cross the horizon as the clock
+//	           advances toward them
+//	otherwise: near push at now + op>>3 (0..31 cycles, the wheel's bread
+//	           and butter), PrioLate when op&4 is set
 func queueOracle(t *testing.T, ops []byte) {
 	t.Helper()
 	var q eventQueue
@@ -48,25 +81,24 @@ func queueOracle(t *testing.T, ops []byte) {
 				t.Fatalf("op %d: pop went back in time: %d < %d", i, got.t, now)
 			}
 			now = got.t
-			// The vacated tail slot must be zeroed, or the popped
-			// event's closure (and everything it captures) stays pinned
-			// by the backing array.
-			if n := len(q.ev); n < cap(q.ev) {
-				if tail := q.ev[:n+1][n]; tail.fn != nil || tail.p != nil {
-					t.Fatalf("op %d: popped slot %d not zeroed", i, n)
-				}
-			}
+			checkZeroedSlots(t, &q, i)
 			continue
 		}
 		seq++
-		ev := event{t: now + Time(op>>3), key: seq, fn: func() {}}
+		d := Time(op >> 3)
+		if op&3 == 2 {
+			d = 200 + Time(op>>3)*97
+		}
+		ev := event{t: now + d, key: seq, fn: func() {}}
 		if op&4 != 0 {
 			ev.key |= prioBit
 		}
-		q.push(ev)
+		q.push(ev, now)
 		heap.Push(ref, ev)
 	}
-	// Drain both completely: the tail of the stream must agree too.
+	// Drain both completely: the tail of the stream must agree too, and
+	// every heap-fallback event is eventually popped after crossing the
+	// wheel horizon.
 	for q.len() > 0 {
 		got := q.pop()
 		want := heap.Pop(ref).(event)
@@ -80,17 +112,22 @@ func queueOracle(t *testing.T, ops []byte) {
 	}
 }
 
-// FuzzEventQueueMatchesReferenceHeap fuzzes the 4-ary heap against
-// container/heap. The seed corpus covers the interesting shapes: pure
-// FIFO, same-cycle bursts with mixed priorities, push/pop churn, and
-// repeated emptying.
+// FuzzEventQueueMatchesReferenceHeap fuzzes the wheel+heap composite
+// against container/heap. The seed corpus covers the interesting shapes:
+// pure FIFO, same-cycle bursts with mixed priorities, push/pop churn,
+// repeated emptying, and far-future events that cross the wheel horizon —
+// alone, racing near events, and in same-tick priority ties.
 func FuzzEventQueueMatchesReferenceHeap(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 3, 3, 3})                // same-slot burst, drain
-	f.Add([]byte{8, 16, 24, 3, 32, 3, 3, 3})       // monotone pushes with pops
-	f.Add([]byte{4, 0, 4, 0, 3, 3, 4, 3, 3})       // PrioLate vs PrioNormal ties
-	f.Add([]byte{255, 7, 3, 255, 7, 3, 255, 7, 3}) // far/near alternation, churn
-	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3})          // empty-refill cycles
+	f.Add([]byte{0, 0, 0, 3, 3, 3})                   // same-slot burst, drain
+	f.Add([]byte{8, 16, 24, 3, 32, 3, 3, 3})          // monotone pushes with pops
+	f.Add([]byte{4, 0, 4, 0, 3, 3, 4, 3, 3})          // PrioLate vs PrioNormal ties
+	f.Add([]byte{255, 7, 3, 255, 7, 3, 255, 7, 3})    // far/near alternation, churn
+	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3})             // empty-refill cycles
+	f.Add([]byte{2, 10, 3, 3, 2, 3})                  // horizon-crossing heap events
+	f.Add([]byte{2, 2, 2, 3, 3, 3, 3})                // heap-only burst, full drain
+	f.Add([]byte{250, 2, 6, 3, 3, 3, 250, 6, 2, 3})   // far bursts with late bits
+	f.Add([]byte{2, 0, 8, 3, 3, 3, 2, 4, 3, 3, 3, 3}) // wheel/heap merge at the boundary
 	f.Fuzz(queueOracle)
 }
 

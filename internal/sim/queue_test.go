@@ -38,12 +38,16 @@ func TestPoppedEventsDontPinClosures(t *testing.T) {
 	}
 }
 
-// TestEventQueueOrderProperty drives the 4-ary heap with adversarial
-// timestamps and checks it pops in exact (time, priority, sequence) order.
+// TestEventQueueOrderProperty drives the wheel+heap composite with
+// adversarial timestamps — same-cycle bursts, mixed priorities, and offsets
+// straddling the wheel horizon — under the engine's monotone-clock
+// contract, and checks it pops in exact (time, priority, sequence) order
+// against a linear-scan reference.
 func TestEventQueueOrderProperty(t *testing.T) {
 	rng := NewRand(77)
 	var q eventQueue
 	var seq uint64
+	var now Time
 	type ref struct {
 		t   Time
 		key uint64
@@ -51,13 +55,18 @@ func TestEventQueueOrderProperty(t *testing.T) {
 	var want []ref
 	pushOne := func() {
 		seq++
-		ts := Time(rng.Intn(50))
+		// Mostly near offsets (wheel), occasionally far past the horizon
+		// (heap fallback).
+		d := Time(rng.Intn(50))
+		if rng.Intn(5) == 0 {
+			d = Time(100 + rng.Intn(900))
+		}
 		key := seq
 		if rng.Intn(3) == 0 {
 			key |= prioBit
 		}
-		q.push(event{t: ts, key: key, fn: func() {}})
-		want = append(want, ref{ts, key})
+		q.push(event{t: now + d, key: key, fn: func() {}}, now)
+		want = append(want, ref{now + d, key})
 	}
 	popOne := func() {
 		best := 0
@@ -71,9 +80,11 @@ func TestEventQueueOrderProperty(t *testing.T) {
 		if ev.t != want[best].t || ev.key != want[best].key {
 			t.Fatalf("pop = (%d,%#x), want (%d,%#x)", ev.t, ev.key, want[best].t, want[best].key)
 		}
+		now = ev.t
 		want = append(want[:best], want[best+1:]...)
 	}
-	// Interleave pushes and pops so the heap is exercised at many sizes.
+	// Interleave pushes and pops so both levels are exercised at many
+	// sizes, including events that cross the horizon between push and pop.
 	for round := 0; round < 2000; round++ {
 		if len(want) == 0 || rng.Intn(3) > 0 {
 			pushOne()
@@ -86,5 +97,31 @@ func TestEventQueueOrderProperty(t *testing.T) {
 	}
 	if q.len() != 0 {
 		t.Fatalf("queue not drained: %d left", q.len())
+	}
+}
+
+// TestSchedStatsCountRouting checks the wheel-hit / heap-fallback counters:
+// near events land in the wheel, far ones in the heap.
+func TestSchedStatsCountRouting(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i*7%wheelSpan), func() {})
+	}
+	for i := 0; i < 3; i++ {
+		e.Schedule(wheelSpan+Time(i*1000), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SchedStats()
+	if st.WheelEvents != 10 || st.HeapEvents != 3 {
+		t.Fatalf("SchedStats = %+v, want 10 wheel and 3 heap events", st)
+	}
+	e.StepPoolMiss()
+	e.StepPoolHit()
+	e.StepPoolHit()
+	st = e.SchedStats()
+	if st.StepPoolHits != 2 || st.StepPoolMisses != 1 {
+		t.Fatalf("SchedStats = %+v, want 2 pool hits and 1 miss", st)
 	}
 }

@@ -98,8 +98,8 @@ func (e *Engine) SleepThen(d Time, then func()) {
 		// sequence is the largest, so it only precedes the queue head on a
 		// strictly earlier time — or the same time when the head is
 		// PrioLate and this continuation is PrioNormal.
-		if q := &e.q; len(q.ev) == 0 ||
-			t < q.ev[0].t || (t == q.ev[0].t && q.ev[0].key >= prioBit) {
+		if head := e.q.first(); head == nil ||
+			t < head.t || (t == head.t && head.key >= prioBit) {
 			if e.cont != nil {
 				panic("sim: SleepThen fast path with a continuation already pending")
 			}

@@ -18,6 +18,9 @@ type centralBarrier struct {
 	release uint64
 	n       uint64
 	ep      []uint64 // per-core episode
+	// steps holds the per-core recycled task-face state machines,
+	// allocated lazily on first task-mode use (task.go).
+	steps []*centralStep
 }
 
 func newCentralBarrier(m *core.Machine, participants int) *centralBarrier {
@@ -130,6 +133,8 @@ type dataBarrier struct {
 	addr uint32
 	n    uint64
 	ep   []uint64
+	// steps holds the per-core recycled task-face state machines (task.go).
+	steps []*dataStep
 }
 
 func (b *dataBarrier) Wait(t *core.Thread) {
@@ -151,6 +156,8 @@ func (b *dataBarrier) Wait(t *core.Thread) {
 type toneBarrier struct {
 	addr  uint32
 	sense []uint64
+	// steps holds the per-core recycled task-face state machines (task.go).
+	steps []*toneStep
 }
 
 func (b *toneBarrier) Wait(t *core.Thread) {

@@ -169,5 +169,27 @@ func (r *Reducer) AddTask(t *core.Task, delta uint64, then func()) {
 // Value reads the current total.
 func (r *Reducer) Value(t *core.Thread) uint64 { return r.v.Load(t) }
 
+// TaskReducer is the continuation form of Reducer: the same reduction
+// variable driven through the task ISA. Obtain one with Reducer.AsTask; the
+// two faces are interchangeable within the bit-identical-modes contract of
+// the package.
+type TaskReducer struct {
+	v TaskVar
+}
+
+// AsTask returns the reducer's continuation face.
+func (r *Reducer) AsTask() TaskReducer { return TaskReducer{v: AsTaskVar(r.v)} }
+
+// Add contributes delta; then receives the total before the add. Taking the
+// fetch&add continuation directly (instead of a niladic wrapper like
+// AddTask's) lets hot callers reuse one cached continuation with no per-op
+// capture.
+func (r TaskReducer) Add(t *core.Task, delta uint64, then func(uint64)) {
+	r.v.FetchAddTask(t, delta, then)
+}
+
+// Value reads the current total.
+func (r TaskReducer) Value(t *core.Task, then func(uint64)) { r.v.LoadTask(t, then) }
+
 // Var exposes the underlying variable (for draining or resetting).
 func (r *Reducer) Var() Var { return r.v }

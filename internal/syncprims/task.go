@@ -44,12 +44,7 @@ func (f *Factory) NewTaskBarrier(participants []int) TaskBarrier {
 
 // NewTaskLock allocates a lock and returns its continuation face.
 func (f *Factory) NewTaskLock() TaskLock {
-	l := f.NewLock()
-	tl, ok := l.(TaskLock)
-	if !ok {
-		panic(fmt.Sprintf("syncprims: %T has no continuation form", l))
-	}
-	return tl
+	return AsTaskLock(f.NewLock())
 }
 
 // NewTaskVar allocates a variable and returns its continuation face.
@@ -66,6 +61,17 @@ func AsTaskBarrier(b Barrier) TaskBarrier {
 		panic(fmt.Sprintf("syncprims: %T has no continuation form", b))
 	}
 	return tb
+}
+
+// AsTaskLock returns l's continuation face. Every lock the Factory builds
+// implements both faces; the conversion lets a workload allocate once and
+// run in either execution mode.
+func AsTaskLock(l Lock) TaskLock {
+	tl, ok := l.(TaskLock)
+	if !ok {
+		panic(fmt.Sprintf("syncprims: %T has no continuation form", l))
+	}
+	return tl
 }
 
 // AsTaskVar returns v's continuation face.
@@ -175,32 +181,86 @@ func (l *mcsLock) ReleaseTask(t *core.Task, then func()) {
 
 // ---- Barriers ----
 
-// centralBarrier in continuation form: the CAS retry loop, last-arriver
-// release and release-flag spin of Wait, step by step.
+// The barrier task faces run on per-core recycled step structs: a core
+// waits on one episode of one barrier at a time, so each (barrier, core)
+// pair owns a single state machine whose continuations are method values
+// cached at construction. The steps slices are sized like the barriers'
+// per-core episode arrays and allocated lazily on first task-mode use, so
+// thread-mode workloads pay nothing. This removes the per-episode closure
+// captures from the barrier hot path — the pattern the kernels and apps
+// interpreters use for their own loops (see kernels.readRanger,
+// apps.appTask).
+
+// centralStep is centralBarrier's continuation form: the CAS retry loop,
+// last-arriver release and release-flag spin of Wait, step by step.
+type centralStep struct {
+	b    *centralBarrier
+	t    *core.Task
+	ep   uint64
+	c    uint64 // count value observed by the pending CAS
+	then func()
+
+	onReadFn   func(uint64)
+	onCASFn    func(bool)
+	zeroDoneFn func()
+	condFn     func(uint64) bool
+	onSpinFn   func(uint64)
+}
+
 func (b *centralBarrier) WaitTask(t *core.Task, then func()) {
 	b.ep[t.Core]++
-	ep := b.ep[t.Core]
-	var arrive func()
-	arrive = func() {
-		t.Read(b.count, func(c uint64) {
-			t.CAS(b.count, c, c+1, func(ok bool) {
-				if !ok {
-					t.Instr(4)
-					arrive()
-					return
-				}
-				if c+1 == b.n {
-					t.Write(b.count, 0, func() {
-						t.Write(b.release, ep, then)
-					})
-					return
-				}
-				t.SpinUntil(b.release, func(v uint64) bool { return v >= ep },
-					func(uint64) { then() })
-			})
-		})
+	if b.steps == nil {
+		b.steps = make([]*centralStep, len(b.ep))
 	}
-	arrive()
+	s := b.steps[t.Core]
+	if s == nil {
+		t.M.Eng.StepPoolMiss()
+		s = &centralStep{b: b}
+		s.onReadFn = s.onRead
+		s.onCASFn = s.onCAS
+		s.zeroDoneFn = s.zeroDone
+		s.condFn = s.cond
+		s.onSpinFn = s.onSpin
+		b.steps[t.Core] = s
+	} else {
+		t.M.Eng.StepPoolHit()
+	}
+	s.t, s.ep, s.then = t, b.ep[t.Core], then
+	s.arrive()
+}
+
+func (s *centralStep) arrive() { s.t.Read(s.b.count, s.onReadFn) }
+
+func (s *centralStep) onRead(c uint64) {
+	s.c = c
+	s.t.CAS(s.b.count, c, c+1, s.onCASFn)
+}
+
+func (s *centralStep) onCAS(ok bool) {
+	if !ok {
+		s.t.Instr(4)
+		s.arrive()
+		return
+	}
+	if s.c+1 == s.b.n {
+		s.t.Write(s.b.count, 0, s.zeroDoneFn)
+		return
+	}
+	s.t.SpinUntil(s.b.release, s.condFn, s.onSpinFn)
+}
+
+func (s *centralStep) zeroDone() {
+	then := s.then
+	s.then = nil
+	s.t.Write(s.b.release, s.ep, then)
+}
+
+func (s *centralStep) cond(v uint64) bool { return v >= s.ep }
+
+func (s *centralStep) onSpin(uint64) {
+	then := s.then
+	s.then = nil
+	then()
 }
 
 // tournamentBarrier in continuation form: the per-round winner/loser state
@@ -259,30 +319,95 @@ func (b *tournamentBarrier) WaitTask(t *core.Task, then func()) {
 	round(0)
 }
 
-// dataBarrier in continuation form: fetch&inc arrival, last-arriver
-// release store, local-replica spin.
-func (b *dataBarrier) WaitTask(t *core.Task, then func()) {
-	b.ep[t.Core]++
-	ep := b.ep[t.Core]
-	t.BMFetchAdd(b.addr, 1, func(old uint64) {
-		if (old&0xffffffff)+1 == b.n {
-			// Last arriver: zero the count and publish the episode in one
-			// wireless message.
-			t.BMStore(b.addr, ep<<32, then)
-			return
-		}
-		t.BMSpinUntil(b.addr, func(v uint64) bool { return v>>32 >= ep },
-			func(uint64) { then() })
-	})
+// dataStep is dataBarrier's continuation form: fetch&inc arrival,
+// last-arriver release store, local-replica spin.
+type dataStep struct {
+	b    *dataBarrier
+	t    *core.Task
+	ep   uint64
+	then func()
+
+	onArriveFn func(uint64)
+	condFn     func(uint64) bool
+	onSpinFn   func(uint64)
 }
 
-// toneBarrier in continuation form: tone_st, then the tone_ld spin.
+func (b *dataBarrier) WaitTask(t *core.Task, then func()) {
+	b.ep[t.Core]++
+	if b.steps == nil {
+		b.steps = make([]*dataStep, len(b.ep))
+	}
+	s := b.steps[t.Core]
+	if s == nil {
+		t.M.Eng.StepPoolMiss()
+		s = &dataStep{b: b}
+		s.onArriveFn = s.onArrive
+		s.condFn = s.cond
+		s.onSpinFn = s.onSpin
+		b.steps[t.Core] = s
+	} else {
+		t.M.Eng.StepPoolHit()
+	}
+	s.t, s.ep, s.then = t, b.ep[t.Core], then
+	t.BMFetchAdd(b.addr, 1, s.onArriveFn)
+}
+
+func (s *dataStep) onArrive(old uint64) {
+	if (old&0xffffffff)+1 == s.b.n {
+		// Last arriver: zero the count and publish the episode in one
+		// wireless message.
+		then := s.then
+		s.then = nil
+		s.t.BMStore(s.b.addr, s.ep<<32, then)
+		return
+	}
+	s.t.BMSpinUntil(s.b.addr, s.condFn, s.onSpinFn)
+}
+
+func (s *dataStep) cond(v uint64) bool { return v>>32 >= s.ep }
+
+func (s *dataStep) onSpin(uint64) {
+	then := s.then
+	s.then = nil
+	then()
+}
+
+// toneStep is toneBarrier's continuation form: tone_st, then the tone_ld
+// spin.
+type toneStep struct {
+	b    *toneBarrier
+	t    *core.Task
+	then func()
+
+	afterStoreFn func()
+	afterWaitFn  func()
+}
+
 func (b *toneBarrier) WaitTask(t *core.Task, then func()) {
-	s := b.sense[t.Core]
-	t.ToneStore(b.addr, func() {
-		t.ToneWait(b.addr, s, func() {
-			b.sense[t.Core] ^= 1
-			then()
-		})
-	})
+	if b.steps == nil {
+		b.steps = make([]*toneStep, len(b.sense))
+	}
+	s := b.steps[t.Core]
+	if s == nil {
+		t.M.Eng.StepPoolMiss()
+		s = &toneStep{b: b}
+		s.afterStoreFn = s.afterStore
+		s.afterWaitFn = s.afterWait
+		b.steps[t.Core] = s
+	} else {
+		t.M.Eng.StepPoolHit()
+	}
+	s.t, s.then = t, then
+	t.ToneStore(b.addr, s.afterStoreFn)
+}
+
+func (s *toneStep) afterStore() {
+	s.t.ToneWait(s.b.addr, s.b.sense[s.t.Core], s.afterWaitFn)
+}
+
+func (s *toneStep) afterWait() {
+	then := s.then
+	s.then = nil
+	s.b.sense[s.t.Core] ^= 1
+	then()
 }

@@ -26,15 +26,39 @@ type backoffMAC struct {
 	// estimate is global (Section 5.3).
 	sharedExp int
 	stats     MACStats
+	// releaseHeadFn is the cached method value scheduleRelease schedules;
+	// arbFree recycles slot-arbitration continuations and slotsFree the
+	// per-slot request slices, so steady-state contention allocates
+	// nothing in the MAC.
+	releaseHeadFn func()
+	arbFree       []*arbCont
+	slotsFree     [][]*request
+}
+
+// arbCont is a recycled slot-arbitration event: the "resolve contention
+// slot s" firing of enqueue, which would otherwise capture the slot in a
+// fresh closure per contention cycle.
+type arbCont struct {
+	m    *backoffMAC
+	slot sim.Time
+	fn   func() // cached method value of run
+}
+
+func (c *arbCont) run() {
+	m, slot := c.m, c.slot
+	m.arbFree = append(m.arbFree, c)
+	m.arbitrate(slot)
 }
 
 func newBackoffMAC(n *Network) *backoffMAC {
-	return &backoffMAC{
+	m := &backoffMAC{
 		n:         n,
 		slots:     make(map[sim.Time][]*request),
 		scheduled: make(map[sim.Time]bool),
 		backoff:   make([]int, n.nodes),
 	}
+	m.releaseHeadFn = m.releaseHead
+	return m
 }
 
 func (m *backoffMAC) Kind() MACKind { return MACBackoff }
@@ -56,11 +80,41 @@ func (m *backoffMAC) Submit(req *request) {
 }
 
 func (m *backoffMAC) enqueue(req *request, slot sim.Time) {
-	m.slots[slot] = append(m.slots[slot], req)
+	q, ok := m.slots[slot]
+	if !ok {
+		if k := len(m.slotsFree); k > 0 {
+			q = m.slotsFree[k-1]
+			m.slotsFree = m.slotsFree[:k-1]
+		}
+	}
+	m.slots[slot] = append(q, req)
 	if !m.scheduled[slot] {
 		m.scheduled[slot] = true
-		m.n.eng.ScheduleAt(slot, sim.PrioLate, func() { m.arbitrate(slot) })
+		var c *arbCont
+		if k := len(m.arbFree); k > 0 {
+			c = m.arbFree[k-1]
+			m.arbFree = m.arbFree[:k-1]
+		} else {
+			c = &arbCont{m: m}
+			c.fn = c.run
+		}
+		c.slot = slot
+		m.n.eng.ScheduleAt(slot, sim.PrioLate, c.fn)
 	}
+}
+
+// recycleSlot returns a drained slot slice's backing array to the pool.
+// The caller must be done iterating any alias of it; elements are cleared
+// so pooled arrays do not pin completed requests.
+func (m *backoffMAC) recycleSlot(reqs []*request) {
+	if cap(reqs) == 0 {
+		return
+	}
+	reqs = reqs[:cap(reqs)]
+	for i := range reqs {
+		reqs[i] = nil
+	}
+	m.slotsFree = append(m.slotsFree, reqs[:0])
 }
 
 // arbitrate resolves the contention slot at the current cycle. It runs at
@@ -79,6 +133,7 @@ func (m *backoffMAC) arbitrate(slot sim.Time) {
 		}
 	}
 	if len(live) == 0 {
+		m.recycleSlot(reqs)
 		return
 	}
 	if slot < n.busyUntil {
@@ -91,10 +146,12 @@ func (m *backoffMAC) arbitrate(slot sim.Time) {
 				m.enqueue(r, n.busyUntil)
 			}
 		}
+		m.recycleSlot(reqs)
 		return
 	}
 	if len(live) == 1 {
 		n.transmit(live[0], slot)
+		m.recycleSlot(reqs)
 		return
 	}
 	// Collision: detected cycle 2, channel free cycle 3.
@@ -131,6 +188,7 @@ func (m *backoffMAC) arbitrate(slot sim.Time) {
 		wait := sim.Time(n.rng.Intn(window))
 		m.enqueue(r, slot+n.p.CollisionCycles+wait)
 	}
+	m.recycleSlot(reqs)
 }
 
 // Granted rewards a successful transmission: the winner's backoff exponent
@@ -164,7 +222,7 @@ func (m *backoffMAC) scheduleRelease(at sim.Time) {
 	if m.n.p.Defer != DeferFIFO {
 		return
 	}
-	m.n.eng.ScheduleAt(at, sim.PrioNormal, func() { m.releaseHead() })
+	m.n.eng.ScheduleAt(at, sim.PrioNormal, m.releaseHeadFn)
 }
 
 func (m *backoffMAC) releaseHead() {

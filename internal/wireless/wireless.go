@@ -190,15 +190,41 @@ const (
 
 type request struct {
 	n *Network
-	// Exactly one of p and done is set: p is a blocking sender parked in
-	// Send (or SendParked), done the completion callback of a SendAsync.
+	// Exactly one of p and then is set: p is a blocking sender parked in
+	// Send (or SendParked), then the completion callback of a SendAsync.
 	p         *sim.Proc
-	done      func()
+	then      func(committed bool)
 	msg       Msg
 	start     sim.Time
 	state     reqState
 	committed bool
 	attempts  int // collisions suffered by this message
+}
+
+// deliverCont is a recycled async-completion delivery: the event that
+// hands a SendAsync outcome to its callback, pooled on the Network so a
+// continuation sender costs no closure per message. Outcome fields
+// (state, committed) are read at fire time, exactly as the closure this
+// replaces did — a withdrawal landing between resume and delivery is
+// still observed.
+type deliverCont struct {
+	n   *Network
+	req *request
+	fn  func() // cached method value of run
+}
+
+func (c *deliverCont) run() {
+	n, req := c.n, c.req
+	c.req = nil
+	n.deliverFree = append(n.deliverFree, c)
+	then := req.then
+	req.then = nil
+	if req.state == reqCanceled {
+		n.Stats.Withdrawn++
+		then(false)
+		return
+	}
+	then(req.committed)
 }
 
 // resume returns control to the sender at the current cycle: a parked
@@ -211,7 +237,17 @@ func (r *request) resume() {
 		r.p.Wake(0)
 		return
 	}
-	r.n.eng.Schedule(0, r.done)
+	n := r.n
+	var c *deliverCont
+	if k := len(n.deliverFree); k > 0 {
+		c = n.deliverFree[k-1]
+		n.deliverFree = n.deliverFree[:k-1]
+	} else {
+		c = &deliverCont{n: n}
+		c.fn = c.run
+	}
+	c.req = r
+	n.eng.Schedule(0, c.fn)
 }
 
 // Token allows the owner of an in-flight Send to withdraw it (used when a
@@ -270,6 +306,11 @@ type Network struct {
 	mac       MAC
 	subs      []func(Msg, sim.Time)
 	prepare   func(Msg) bool
+	// deliverFree and commitFree recycle the per-message scheduling
+	// continuations (async completion delivery, transmission commit), so
+	// the steady-state message path allocates only its request record.
+	deliverFree []*deliverCont
+	commitFree  []*commitCont
 	// Stats is exported for harness reporting.
 	Stats Stats
 }
@@ -361,14 +402,7 @@ func (n *Network) SendAsync(msg Msg, tok *Token, then func(committed bool)) {
 	if tok != nil {
 		tok.req = req
 	}
-	req.done = func() {
-		if req.state == reqCanceled {
-			n.Stats.Withdrawn++
-			then(false)
-			return
-		}
-		then(req.committed)
-	}
+	req.then = then
 	n.submit(req)
 }
 
@@ -420,8 +454,32 @@ func (n *Network) transmit(req *request, slot sim.Time) {
 	n.busyUntil = slot + dur
 	n.Stats.BusyCycles += dur
 	n.mac.Granted(req)
-	n.eng.ScheduleAt(slot+dur, sim.PrioNormal, func() { n.commit(req) })
+	var c *commitCont
+	if k := len(n.commitFree); k > 0 {
+		c = n.commitFree[k-1]
+		n.commitFree = n.commitFree[:k-1]
+	} else {
+		c = &commitCont{n: n}
+		c.fn = c.run
+	}
+	c.req = req
+	n.eng.ScheduleAt(slot+dur, sim.PrioNormal, c.fn)
 	n.mac.TxScheduled(slot + dur)
+}
+
+// commitCont is a recycled commit event: the end-of-transmission firing of
+// transmit, pooled on the Network.
+type commitCont struct {
+	n   *Network
+	req *request
+	fn  func() // cached method value of run
+}
+
+func (c *commitCont) run() {
+	n, req := c.n, c.req
+	c.req = nil
+	n.commitFree = append(n.commitFree, c)
+	n.commit(req)
 }
 
 func (n *Network) commit(req *request) {
