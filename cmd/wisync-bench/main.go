@@ -63,6 +63,7 @@ func macNames() []string {
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
+	shards := flag.Int("shards", 0, "engine shards per sweep point (0 = unsharded); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+strings.Join(macNames(), "|"))
 	execName := flag.String("exec", "task", "application workload execution mode: task|thread (identical simulated results)")
 	verbose := flag.Bool("v", false, "append scheduler-internals diagnostics (# sched lines: wheel hits, heap fallbacks, step-pool reuse)")
@@ -70,7 +71,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available subcommands and MAC protocols, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-mac p] [-exec m] [-v] [-list] [%s]\n",
+		fmt.Fprintf(os.Stderr, "usage: wisync-bench [-quick] [-workers n] [-shards n] [-mac p] [-exec m] [-v] [-list] [%s]\n",
 			strings.Join(commandNames(), "|"))
 		flag.PrintDefaults()
 	}
@@ -100,7 +101,7 @@ func main() {
 		what = flag.Arg(0)
 	}
 	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac,
-		Exec: exec, Verbose: *verbose, Out: os.Stdout}
+		Exec: exec, Shards: *shards, Verbose: *verbose, Out: os.Stdout}
 	for _, c := range commands {
 		if c.name != what {
 			continue
@@ -112,7 +113,7 @@ func main() {
 		if what == "macs" {
 			macDesc = "all-compared"
 		}
-		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d mac=%s exec=%v seed=1\n", what, *quick, *workers, macDesc, exec)
+		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d shards=%d mac=%s exec=%v seed=1\n", what, *quick, *workers, *shards, macDesc, exec)
 		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)

@@ -65,6 +65,7 @@ func main() {
 	variant := flag.String("variant", "Default", "Table 6 variant")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points for a -cores list (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "engine shards per point (0 = unsharded); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+macNames())
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -109,8 +110,8 @@ func main() {
 	}
 
 	// Self-describing output: echo the effective configuration first.
-	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d mac=%v workload=%s\n",
-		kind, *cores, v, *seed, *workers, mac, *workload)
+	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d shards=%d mac=%v workload=%s\n",
+		kind, *cores, v, *seed, *workers, *shards, mac, *workload)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatalf("%v", err)
@@ -119,7 +120,7 @@ func main() {
 	// list order so the output does not depend on the worker count.
 	outputs := make([]strings.Builder, len(coreList))
 	harness.ForEach(*workers, len(coreList), func(i int) {
-		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac)
+		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac).WithShards(*shards)
 		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
 	})
 	stopProfiles()

@@ -47,6 +47,7 @@ func NewMachine(cfg config.Config) *Machine {
 		panic(err)
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	eng.ConfigureShards(cfg.Shards)
 	mesh := noc.New(cfg.Cores, cfg.HopLatency)
 	mp := mem.Params{
 		Cores:         cfg.Cores,

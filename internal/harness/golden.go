@@ -75,7 +75,19 @@ func GoldenRun(pt GoldenPoint) string { return GoldenRunExec(pt, kernels.ExecTas
 // to it (TestGoldenConformance pins the default, TestGoldenBlockingEquivalence
 // the reference mode).
 func GoldenRunExec(pt GoldenPoint, exec kernels.Exec) string {
-	cfg := config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed)
+	return goldenRunCfg(pt, config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed), exec)
+}
+
+// GoldenRunShards executes one point on an engine partitioned into the
+// given shard count. Sharding is exact — every line must render
+// byte-identical to the unsharded golden file at any count
+// (TestGoldenShardInvariance pins it).
+func GoldenRunShards(pt GoldenPoint, shards int) string {
+	cfg := config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed).WithShards(shards)
+	return goldenRunCfg(pt, cfg, kernels.ExecTask)
+}
+
+func goldenRunCfg(pt GoldenPoint, cfg config.Config, exec kernels.Exec) string {
 	switch pt.Kernel {
 	case "tightloop":
 		r := kernels.TightLoopExec(cfg, 8, exec)

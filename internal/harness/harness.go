@@ -49,6 +49,12 @@ type Options struct {
 	// (continuation) mode — the fast path; ExecThread runs the blocking
 	// reference interpreter. Simulated results are identical either way.
 	Exec kernels.Exec
+	// Shards partitions each sweep point's engine into this many shards
+	// for intra-point parallelism (sim.ConfigureShards): core-local events
+	// sort concurrently between dispatches. 0 keeps the unsharded engine.
+	// Orthogonal to Workers — Workers parallelizes across points, Shards
+	// within one — and bit-identical at every value.
+	Shards int
 	// Verbose appends scheduler-internals diagnostics to each application
 	// sweep: a "# sched" line aggregating timing-wheel hits, heap
 	// fallbacks and recycled-step pool reuse across the sweep's engines.
@@ -58,9 +64,9 @@ type Options struct {
 }
 
 // Config builds one sweep point's machine configuration with the
-// option-level overrides (MAC protocol) applied.
+// option-level overrides (MAC protocol, engine shards) applied.
 func (o Options) Config(kind config.Kind, cores int) config.Config {
-	return config.New(kind, cores).WithMAC(o.MAC)
+	return config.New(kind, cores).WithMAC(o.MAC).WithShards(o.Shards)
 }
 
 func (o Options) out() io.Writer {
@@ -326,8 +332,13 @@ func fprintSched(o Options, what string, s sim.SchedStats) {
 	if !o.Verbose {
 		return
 	}
-	fmt.Fprintf(o.out(), "# sched %s: wheel-events=%d heap-fallbacks=%d step-pool-hits=%d step-pool-misses=%d\n",
+	fmt.Fprintf(o.out(), "# sched %s: wheel-events=%d heap-fallbacks=%d step-pool-hits=%d step-pool-misses=%d",
 		what, s.WheelEvents, s.HeapEvents, s.StepPoolHits, s.StepPoolMisses)
+	if o.Shards > 0 {
+		fmt.Fprintf(o.out(), " horizon-advances=%d cross-shard-msgs=%d barrier-stalls=%d",
+			s.HorizonAdvances, s.CrossShardMsgs, s.BarrierStalls)
+	}
+	fmt.Fprintln(o.out())
 }
 
 // appKinds is the per-application run order of Fig10 and Fig11: the

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+)
+
+// shardCounts are the shard configurations the bit-identity suite pins:
+// one shard exercises the full drain/merge machinery without concurrency,
+// the powers of two are the practical settings, and seven (which does not
+// divide any core count) forces uneven core-to-shard assignment.
+var shardCounts = []int{1, 2, 4, 7}
+
+// TestGoldenShardInvariance re-runs the kernel conformance matrix on a
+// sharded engine at every pinned shard count and asserts each metrics line
+// is byte-identical to the committed golden file — the end-to-end proof
+// that sharded conservative dispatch reorders nothing. In -short mode only
+// the 16-core half of the matrix runs, like TestGoldenConformance.
+func TestGoldenShardInvariance(t *testing.T) {
+	pts := shortPoints()
+	want := loadGolden(t)
+	for _, shards := range shardCounts {
+		shards := shards
+		lines := make([]string, len(pts))
+		ForEach(0, len(pts), func(i int) { lines[i] = GoldenRunShards(pts[i], shards) })
+		compareToGolden(t, want, lines, "sharded")
+	}
+}
+
+// TestGoldenAppsShardInvariance is the full-application counterpart: the
+// apps conformance matrix must render byte-identical to the committed
+// golden file at every pinned shard count. In -short mode the matrix is
+// trimmed to the two headline shard counts to keep the race job fast.
+func TestGoldenAppsShardInvariance(t *testing.T) {
+	counts := shardCounts
+	if testing.Short() {
+		counts = []int{1, 4}
+	}
+	pts := AppGoldenPoints()
+	want := loadGoldenApps(t)
+	for _, shards := range counts {
+		shards := shards
+		lines := make([]string, len(pts))
+		ForEach(0, len(pts), func(i int) { lines[i] = AppGoldenRunShards(pts[i], shards) })
+		compareToGolden(t, want, lines, "sharded")
+	}
+}

@@ -9,6 +9,9 @@ import "wisync/internal/core"
 // (the WiSync lock of Table 2).
 type spinLock struct {
 	v Var
+	// steps are the per-core recycled continuation state machines of the
+	// task face (see task.go), allocated lazily on first task-mode use.
+	steps []*spinStep
 }
 
 func (l *spinLock) Acquire(t *core.Thread) {
@@ -32,6 +35,9 @@ type mcsLock struct {
 	// per-core qnode fields, each on its own cache line
 	locked []uint64
 	next   []uint64
+	// steps are the per-core recycled continuation state machines of the
+	// task face (see task.go), allocated lazily on first task-mode use.
+	steps []*mcsStep
 }
 
 func newMCSLock(m *core.Machine) *mcsLock {

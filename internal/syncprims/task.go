@@ -115,68 +115,175 @@ func (v *bmVar) SpinUntilTask(t *core.Task, cond func(uint64) bool, then func(ui
 
 // ---- Locks ----
 
-// spinLock in continuation form: the same test-and-test&set loop as
-// Acquire, with each blocking step a continuation.
+// The lock task faces run on per-core recycled step structs, exactly like
+// the barriers below: a core holds at most one pending operation on a given
+// lock at a time, so each (lock, core) pair owns a single state machine
+// whose continuations are method values cached at construction. The steps
+// slices are allocated lazily on first task-mode use, so thread-mode
+// workloads pay nothing. This removes the per-operation closure tree from
+// the lock hot path — radiosity's serialized hot locks acquire millions of
+// times per run.
+
+// lockFree and lockTaken are the shared spin predicates (capture-free, so
+// they never allocate).
+func lockFree(x uint64) bool  { return x == 0 }
+func lockTaken(x uint64) bool { return x != 0 }
+
+// spinStep is spinLock's continuation form: the test-and-test&set retry
+// loop of Acquire, step by step.
+type spinStep struct {
+	l    *spinLock
+	t    *core.Task
+	tv   TaskVar
+	then func()
+
+	onFreeFn func(uint64)
+	onCASFn  func(bool)
+}
+
 func (l *spinLock) AcquireTask(t *core.Task, then func()) {
-	tv := AsTaskVar(l.v)
-	var attempt func()
-	attempt = func() {
-		tv.SpinUntilTask(t, func(x uint64) bool { return x == 0 }, func(uint64) {
-			tv.CASTask(t, 0, 1, func(ok bool) {
-				if ok {
-					then()
-					return
-				}
-				attempt()
-			})
-		})
+	if l.steps == nil {
+		l.steps = make([]*spinStep, t.M.Cfg.Cores)
 	}
-	attempt()
+	s := l.steps[t.Core]
+	if s == nil {
+		t.M.Eng.StepPoolMiss()
+		s = &spinStep{l: l, tv: AsTaskVar(l.v)}
+		s.onFreeFn = s.onFree
+		s.onCASFn = s.onCAS
+		l.steps[t.Core] = s
+	} else {
+		t.M.Eng.StepPoolHit()
+	}
+	s.t, s.then = t, then
+	s.attempt()
+}
+
+func (s *spinStep) attempt() { s.tv.SpinUntilTask(s.t, lockFree, s.onFreeFn) }
+
+func (s *spinStep) onFree(uint64) { s.tv.CASTask(s.t, 0, 1, s.onCASFn) }
+
+func (s *spinStep) onCAS(ok bool) {
+	if !ok {
+		s.attempt()
+		return
+	}
+	then := s.then
+	s.then = nil
+	then()
 }
 
 func (l *spinLock) ReleaseTask(t *core.Task, then func()) {
 	AsTaskVar(l.v).StoreTask(t, 0, then)
 }
 
-// mcsLock in continuation form: the queue-lock protocol of Acquire/Release
-// with each memory operation a continuation.
-func (l *mcsLock) AcquireTask(t *core.Task, then func()) {
-	me := t.Core
-	t.Instr(8) // qnode setup and pointer arithmetic
-	t.Write(l.next[me], 0, func() {
-		t.Swap(l.tail, uint64(me+1), func(pred uint64) {
-			if pred == 0 {
-				then()
-				return
-			}
-			t.Write(l.locked[me], 1, func() {
-				t.Write(l.next[pred-1], uint64(me+1), func() {
-					t.SpinUntil(l.locked[me], func(x uint64) bool { return x == 0 },
-						func(uint64) { then() })
-				})
-			})
-		})
-	})
+// mcsStep is mcsLock's continuation form: the queue-lock protocol of
+// Acquire/Release with each memory operation a continuation. One struct
+// serves both operations — a core never has an acquire and a release of
+// the same lock in flight together.
+type mcsStep struct {
+	l    *mcsLock
+	t    *core.Task
+	me   int
+	pred uint64
+	then func()
+
+	// Acquire chain.
+	afterInitFn   func()
+	onSwapFn      func(uint64)
+	afterLockedFn func()
+	afterLinkFn   func()
+	onAcqSpinFn   func(uint64)
+	// Release chain.
+	onNextFn    func(uint64)
+	onTailCASFn func(bool)
+	handoffFn   func(uint64)
+	doneFn      func()
 }
 
+func (l *mcsLock) step(t *core.Task) *mcsStep {
+	if l.steps == nil {
+		l.steps = make([]*mcsStep, len(l.locked))
+	}
+	s := l.steps[t.Core]
+	if s == nil {
+		t.M.Eng.StepPoolMiss()
+		s = &mcsStep{l: l, me: t.Core}
+		s.afterInitFn = s.afterInit
+		s.onSwapFn = s.onSwap
+		s.afterLockedFn = s.afterLocked
+		s.afterLinkFn = s.afterLink
+		s.onAcqSpinFn = s.onAcqSpin
+		s.onNextFn = s.onNext
+		s.onTailCASFn = s.onTailCAS
+		s.handoffFn = s.handoff
+		s.doneFn = s.done
+		l.steps[t.Core] = s
+	} else {
+		t.M.Eng.StepPoolHit()
+	}
+	s.t = t
+	return s
+}
+
+func (l *mcsLock) AcquireTask(t *core.Task, then func()) {
+	s := l.step(t)
+	s.then = then
+	t.Instr(8) // qnode setup and pointer arithmetic
+	t.Write(l.next[s.me], 0, s.afterInitFn)
+}
+
+func (s *mcsStep) afterInit() { s.t.Swap(s.l.tail, uint64(s.me+1), s.onSwapFn) }
+
+func (s *mcsStep) onSwap(pred uint64) {
+	if pred == 0 {
+		s.done()
+		return
+	}
+	s.pred = pred
+	s.t.Write(s.l.locked[s.me], 1, s.afterLockedFn)
+}
+
+func (s *mcsStep) afterLocked() {
+	s.t.Write(s.l.next[s.pred-1], uint64(s.me+1), s.afterLinkFn)
+}
+
+func (s *mcsStep) afterLink() {
+	s.t.SpinUntil(s.l.locked[s.me], lockFree, s.onAcqSpinFn)
+}
+
+func (s *mcsStep) onAcqSpin(uint64) { s.done() }
+
 func (l *mcsLock) ReleaseTask(t *core.Task, then func()) {
-	me := t.Core
+	s := l.step(t)
+	s.then = then
 	t.Instr(6)
-	handoff := func(succ uint64) { t.Write(l.locked[succ-1], 0, then) }
-	t.Read(l.next[me], func(succ uint64) {
-		if succ != 0 {
-			handoff(succ)
-			return
-		}
-		t.CAS(l.tail, uint64(me+1), 0, func(ok bool) {
-			if ok {
-				then()
-				return
-			}
-			// A successor is linking itself; wait for the link.
-			t.SpinUntil(l.next[me], func(x uint64) bool { return x != 0 }, handoff)
-		})
-	})
+	t.Read(l.next[s.me], s.onNextFn)
+}
+
+func (s *mcsStep) onNext(succ uint64) {
+	if succ != 0 {
+		s.handoff(succ)
+		return
+	}
+	s.t.CAS(s.l.tail, uint64(s.me+1), 0, s.onTailCASFn)
+}
+
+func (s *mcsStep) onTailCAS(ok bool) {
+	if ok {
+		s.done()
+		return
+	}
+	// A successor is linking itself; wait for the link.
+	s.t.SpinUntil(s.l.next[s.me], lockTaken, s.handoffFn)
+}
+
+func (s *mcsStep) handoff(succ uint64) { s.t.Write(s.l.locked[succ-1], 0, s.doneFn) }
+
+func (s *mcsStep) done() {
+	then := s.then
+	s.then = nil
+	then()
 }
 
 // ---- Barriers ----

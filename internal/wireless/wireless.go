@@ -199,6 +199,11 @@ type request struct {
 	state     reqState
 	committed bool
 	attempts  int // collisions suffered by this message
+	// epoch counts the record's trips through the freelist. A Token
+	// snapshots it at issue time, so a Cancel that outlives the message —
+	// the record may already carry a different sender's message — is
+	// recognized as stale and refused.
+	epoch uint64
 }
 
 // deliverCont is a recycled async-completion delivery: the event that
@@ -221,10 +226,12 @@ func (c *deliverCont) run() {
 	req.then = nil
 	if req.state == reqCanceled {
 		n.Stats.Withdrawn++
-		then(false)
+		then(false) // canceled records stay with the MAC backlog; not pooled
 		return
 	}
-	then(req.committed)
+	committed := req.committed
+	n.freeRequest(req) // before then: the callback may start the next send
+	then(committed)
 }
 
 // resume returns control to the sender at the current cycle: a parked
@@ -253,15 +260,19 @@ func (r *request) resume() {
 // Token allows the owner of an in-flight Send to withdraw it (used when a
 // pending RMW loses atomicity: the write must not be broadcast).
 type Token struct {
-	req *request
+	req   *request
+	epoch uint64 // req.epoch at issue; stale once the record is recycled
 }
 
 // Cancel withdraws the transfer if it has not yet won the channel. It
 // reports whether the transfer was withdrawn; false means the message is
-// already transmitting or committed, or Cancel was called twice.
+// already transmitting or committed, or Cancel was called twice. A Token
+// held past its message's completion stays safe: the pooled record's epoch
+// has moved on, so the stale Cancel is refused even if the record already
+// carries another sender's message.
 func (t *Token) Cancel() bool {
 	r := t.req
-	if r == nil || r.state != reqPending {
+	if r == nil || r.epoch != t.epoch || r.state != reqPending {
 		return false
 	}
 	r.state = reqCanceled
@@ -307,10 +318,13 @@ type Network struct {
 	subs      []func(Msg, sim.Time)
 	prepare   func(Msg) bool
 	// deliverFree and commitFree recycle the per-message scheduling
-	// continuations (async completion delivery, transmission commit), so
-	// the steady-state message path allocates only its request record.
+	// continuations (async completion delivery, transmission commit), and
+	// reqFree recycles the request records themselves (epoch-validated; see
+	// request.epoch), so the steady-state Send/SendAsync message path
+	// allocates nothing.
 	deliverFree []*deliverCont
 	commitFree  []*commitCont
+	reqFree     []*request
 	// Stats is exported for harness reporting.
 	Stats Stats
 }
@@ -380,14 +394,17 @@ func (n *Network) Send(p *sim.Proc, msg Msg, tok *Token) bool {
 	req.p = p
 	if tok != nil {
 		tok.req = req
+		tok.epoch = req.epoch
 	}
 	n.submit(req)
 	p.Park("wireless tx")
 	if req.state == reqCanceled {
 		n.Stats.Withdrawn++
-		return false
+		return false // canceled records stay with the MAC backlog; not pooled
 	}
-	return req.committed
+	committed := req.committed
+	n.freeRequest(req)
+	return committed
 }
 
 // SendAsync transmits msg without a sending process: then runs as an
@@ -401,6 +418,7 @@ func (n *Network) SendAsync(msg Msg, tok *Token, then func(committed bool)) {
 	req := n.newRequest(msg)
 	if tok != nil {
 		tok.req = req
+		tok.epoch = req.epoch
 	}
 	req.then = then
 	n.submit(req)
@@ -423,7 +441,32 @@ func (n *Network) newRequest(msg Msg) *request {
 	if msg.Src < 0 || msg.Src >= n.nodes {
 		panic(fmt.Sprintf("wireless: bad source node %d", msg.Src))
 	}
+	if k := len(n.reqFree); k > 0 {
+		r := n.reqFree[k-1]
+		n.reqFree = n.reqFree[:k-1]
+		r.msg = msg
+		r.start = n.eng.Now()
+		r.state = reqPending
+		r.committed = false
+		r.attempts = 0
+		return r
+	}
 	return &request{n: n, msg: msg, start: n.eng.Now()}
+}
+
+// freeRequest returns a finished record to the pool. Only completion paths
+// that left no aliases behind may call it: a request that ran to commit (or
+// grant-abandon) was removed from every MAC queue before transmit, so the
+// completing Send / async delivery holds the sole reference. Canceled
+// requests are NEVER freed — the MAC structures still hold them (backlog
+// entries are lazily skipped by state), and recycling would let a stale
+// queue entry transmit a different message.
+func (n *Network) freeRequest(r *request) {
+	r.epoch++
+	r.p = nil
+	r.then = nil
+	r.msg = Msg{} // drop the payload and the RMW Op closure
+	n.reqFree = append(n.reqFree, r)
 }
 
 // submit hands a (re)transmission attempt to the MAC, which decides when
