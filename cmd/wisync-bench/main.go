@@ -86,13 +86,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wisync-bench: unknown MAC %q (one of: %s)\n", *macName, strings.Join(macNames(), ", "))
 		os.Exit(2)
 	}
-	var exec core.Exec
-	switch *execName {
-	case "task":
-		exec = core.ExecTask
-	case "thread":
-		exec = core.ExecThread
-	default:
+	exec, ok := core.ParseExec(*execName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "wisync-bench: unknown exec mode %q (task or thread)\n", *execName)
 		os.Exit(2)
 	}

@@ -1,0 +1,244 @@
+// Command wisync-load drives cmd/wisync-server with many concurrent sweep
+// requests and verifies the service's two core promises under load:
+// every request eventually completes without error (riding 429
+// backpressure with retries), and responses for the same job are
+// byte-identical on every repetition — the determinism that makes the
+// content-addressed cache sound, observed end to end over HTTP.
+//
+//	wisync-server -addr 127.0.0.1:8080 &
+//	wisync-load -addr http://127.0.0.1:8080 -requests 1000 -distinct 8
+//
+// The run fires -requests requests (all launched concurrently unless
+// -concurrency caps the in-flight count) spread over -distinct job
+// variants that differ only in seed, so requests overlap heavily — the
+// service's hot case. It reports throughput, latency percentiles, the
+// cache-served row fraction and 429 retry counts, and exits nonzero if
+// any request ultimately fails, any response contains an error row, or
+// two responses to the same job differ.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// row mirrors the server's NDJSON line shape.
+type row struct {
+	ID     string `json:"id,omitempty"`
+	Row    string `json:"row,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Done   bool   `json:"done,omitempty"`
+	Points int    `json:"points,omitempty"`
+	Errors int    `json:"errors,omitempty"`
+}
+
+// outcome is one request's digest: which job variant it ran, the
+// fingerprint of its result rows (id/row/error only — cache metadata is
+// excluded so a cached replay must fingerprint identically to the first
+// computation), and bookkeeping.
+type outcome struct {
+	variant    int
+	fp         [sha256.Size]byte
+	rows       int
+	cachedRows int
+	errorRows  int
+	retries    int
+	latency    time.Duration
+	err        error
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "wisync-server base URL")
+	requests := flag.Int("requests", 1000, "total sweep requests to issue")
+	concurrency := flag.Int("concurrency", 0, "max in-flight requests (0 = all at once)")
+	distinct := flag.Int("distinct", 8, "distinct job variants (seeds) to spread requests over")
+	jobDoc := flag.String("job", "", "job JSON template (default: a quick golden-covered kernel job); its seeds are overridden per variant")
+	maxRetries := flag.Int("max-retries", 100, "max 429 retries per request before giving up")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	flag.Parse()
+
+	if *distinct < 1 {
+		*distinct = 1
+	}
+	// The default job is golden-covered (testdata/golden.tsv rows), small
+	// enough to saturate request handling rather than simulation.
+	base := map[string]any{
+		"workload": "tightloop",
+		"kinds":    []string{"Baseline", "WiSync"},
+		"cores":    []int{16, 64},
+	}
+	if *jobDoc != "" {
+		base = nil
+		if err := json.Unmarshal([]byte(*jobDoc), &base); err != nil {
+			fmt.Fprintf(os.Stderr, "wisync-load: bad -job: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	bodies := make([][]byte, *distinct)
+	for v := range bodies {
+		base["seeds"] = []uint64{uint64(v) + 1}
+		b, err := json.Marshal(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wisync-load: %v\n", err)
+			os.Exit(2)
+		}
+		bodies[v] = b
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+	var sem chan struct{}
+	if *concurrency > 0 {
+		sem = make(chan struct{}, *concurrency)
+	}
+	outcomes := make([]outcome, *requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			v := i % *distinct
+			outcomes[i] = oneRequest(client, *addr, v, bodies[v], *maxRetries)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	report(outcomes, elapsed, *distinct)
+}
+
+// oneRequest posts the job, retrying on 429 with the server's Retry-After
+// (plus linear attempt spacing), and fingerprints the streamed rows.
+func oneRequest(client *http.Client, addr string, variant int, body []byte, maxRetries int) outcome {
+	o := outcome{variant: variant}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(addr+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			if attempt >= maxRetries {
+				o.err = fmt.Errorf("gave up after %d 429s", attempt)
+				return o
+			}
+			o.retries++
+			wait := time.Duration(100+50*attempt) * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second / 4
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			o.err = fmt.Errorf("status %s", resp.Status)
+			resp.Body.Close()
+			return o
+		}
+		h := sha256.New()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		done := false
+		for sc.Scan() {
+			var r row
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				o.err = fmt.Errorf("bad stream line: %v", err)
+				resp.Body.Close()
+				return o
+			}
+			if r.Done {
+				done = true
+				continue
+			}
+			o.rows++
+			if r.Cached {
+				o.cachedRows++
+			}
+			if r.Error != "" {
+				o.errorRows++
+			}
+			fmt.Fprintf(h, "%s\t%s\t%s\n", r.ID, r.Row, r.Error)
+		}
+		err = sc.Err()
+		resp.Body.Close()
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if !done {
+			o.err = fmt.Errorf("stream ended without done marker")
+			return o
+		}
+		copy(o.fp[:], h.Sum(nil))
+		o.latency = time.Since(start)
+		return o
+	}
+}
+
+func report(outcomes []outcome, elapsed time.Duration, distinct int) {
+	var ok, failed, retries, rows, cachedRows, errorRows int
+	var latencies []time.Duration
+	fps := make(map[int][sha256.Size]byte, distinct)
+	mismatched := 0
+	for _, o := range outcomes {
+		retries += o.retries
+		if o.err != nil {
+			failed++
+			continue
+		}
+		ok++
+		rows += o.rows
+		cachedRows += o.cachedRows
+		errorRows += o.errorRows
+		latencies = append(latencies, o.latency)
+		if prev, seen := fps[o.variant]; !seen {
+			fps[o.variant] = o.fp
+		} else if prev != o.fp {
+			mismatched++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("requests=%d ok=%d failed=%d retries429=%d elapsed=%v rps=%.1f\n",
+		len(outcomes), ok, failed, retries, elapsed.Round(time.Millisecond),
+		float64(ok)/elapsed.Seconds())
+	fmt.Printf("rows=%d cached=%d (%.1f%%) errorRows=%d variants=%d mismatched=%d\n",
+		rows, cachedRows, 100*float64(cachedRows)/max(1, float64(rows)), errorRows,
+		distinct, mismatched)
+	fmt.Printf("latency p50=%v p95=%v max=%v\n",
+		pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
+		pct(1.0).Round(time.Millisecond))
+	if failed > 0 || mismatched > 0 || errorRows > 0 {
+		fmt.Println("FAIL: requests failed, responses diverged, or error rows were returned")
+		os.Exit(1)
+	}
+	fmt.Println("OK: all requests completed; repeated jobs byte-identical")
+}

@@ -1,0 +1,80 @@
+// Command wisync-server is the sweep service: a long-running HTTP/JSON
+// backend that turns CLI sweeps into jobs from many concurrent clients.
+//
+// A job names a workload and lists of machine kinds, core counts and
+// seeds; the server crosses them into points, fans the points across a
+// worker pool, and streams result rows back as NDJSON as they complete —
+// in point order, flushed incrementally. Because every point is a
+// deterministic seeded simulation (pinned by the golden-conformance
+// suites), completed points are memoized in a content-addressed LRU cache
+// keyed by (canonical config digest, seed): repeated or overlapping sweeps
+// from any number of clients are served byte-identical at cache speed.
+//
+//	wisync-server -addr :8080 &
+//	curl -s localhost:8080/sweep -d '{
+//	  "workload": "tightloop",
+//	  "kinds": ["Baseline", "WiSync"], "cores": [16, 64], "seeds": [1]
+//	}'
+//	curl -s localhost:8080/stats
+//
+// Endpoints:
+//
+//	POST /sweep    submit a job; response is application/x-ndjson, one
+//	               object per point ({"id", "row", "cached"} or
+//	               {"id", "error"}) and a trailing {"done": true} summary
+//	GET  /stats    cache hit/miss/in-flight metrics, queue depth, totals
+//	GET  /healthz  liveness
+//
+// Malformed jobs — unknown workload, kind, MAC, exec mode or variant,
+// out-of-range cores/shards/parameters, unknown JSON fields — are rejected
+// with 400 before any simulation runs. When the bounded admission queue is
+// full the server answers 429 with Retry-After instead of queueing
+// unboundedly; cmd/wisync-load demonstrates riding that backpressure with
+// thousands of concurrent requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent sweep-point simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 4096, "max admitted-but-unfinished points before 429")
+	cacheEntries := flag.Int("cache-entries", 65536, "memoization cache capacity (points)")
+	maxJobPoints := flag.Int("max-job-points", 4096, "max points one job may expand to")
+	flag.Parse()
+
+	s := newServer(serverOptions{
+		Workers:      *workers,
+		QueueLimit:   *queue,
+		CacheEntries: *cacheEntries,
+		MaxJobPoints: *maxJobPoints,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+	log.Printf("wisync-server listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, s.opts.Workers, s.opts.QueueLimit, s.opts.CacheEntries)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"wisync/internal/config"
+	"wisync/internal/harness"
+	"wisync/internal/kernels"
+	"wisync/internal/sweepcache"
+	"wisync/internal/wireless"
+)
+
+// job is the wire form of one sweep request: a workload crossed with kind,
+// core-count and seed lists. Enum fields decode from their flag names
+// ("WiSync", "backoff", "task"); unknown names and unknown JSON fields are
+// a 400 at decode time, so nothing malformed ever reaches a worker.
+type job struct {
+	Workload string           `json:"workload"`
+	Kinds    []config.Kind    `json:"kinds,omitempty"`
+	Cores    []int            `json:"cores,omitempty"`
+	Seeds    []uint64         `json:"seeds,omitempty"`
+	Variant  config.Variant   `json:"variant,omitempty"`
+	MAC      wireless.MACKind `json:"mac,omitempty"`
+	Exec     kernels.Exec     `json:"exec,omitempty"`
+	Shards   int              `json:"shards,omitempty"`
+	Iters    int              `json:"iters,omitempty"`
+	N        int              `json:"n,omitempty"`
+	Passes   int              `json:"passes,omitempty"`
+	CS       int              `json:"cs,omitempty"`
+	Duration uint64           `json:"duration,omitempty"`
+}
+
+// expand crosses the job's lists into normalized, validated point specs
+// with their cache keys, in kinds x cores x seeds order (the golden
+// matrix's row order). Any invalid point fails the whole job: a client
+// should learn about a typo before any simulation runs.
+func (j job) expand() ([]harness.PointSpec, []sweepcache.Key, error) {
+	if len(j.Kinds) == 0 {
+		j.Kinds = []config.Kind{config.WiSync}
+	}
+	if len(j.Cores) == 0 {
+		j.Cores = []int{64}
+	}
+	if len(j.Seeds) == 0 {
+		j.Seeds = []uint64{1}
+	}
+	specs := make([]harness.PointSpec, 0, len(j.Kinds)*len(j.Cores)*len(j.Seeds))
+	keys := make([]sweepcache.Key, 0, cap(specs))
+	for _, k := range j.Kinds {
+		for _, cores := range j.Cores {
+			for _, seed := range j.Seeds {
+				spec := harness.PointSpec{
+					Workload: j.Workload, Kind: k, Cores: cores, Seed: seed,
+					Variant: j.Variant, MAC: j.MAC, Exec: j.Exec, Shards: j.Shards,
+					Iters: j.Iters, N: j.N, Passes: j.Passes, CS: j.CS, Duration: j.Duration,
+				}
+				n, err := spec.Normalize()
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := n.Validate(); err != nil {
+					return nil, nil, fmt.Errorf("point %s: %w", n.ID(), err)
+				}
+				digest, err := n.Digest()
+				if err != nil {
+					return nil, nil, err
+				}
+				specs = append(specs, n)
+				keys = append(keys, sweepcache.Key{Digest: digest, Seed: seed})
+			}
+		}
+	}
+	return specs, keys, nil
+}
+
+// rowMsg is one streamed NDJSON line: a result row (Row set, the
+// byte-identical golden-format metrics line), an error row (Error set), or
+// the trailing summary (Done true). Cached marks rows served without
+// simulating; it is metadata, not part of the row, so repeated sweeps
+// compare byte-identical on ID/Row/Error.
+type rowMsg struct {
+	ID     string `json:"id,omitempty"`
+	Row    string `json:"row,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	Done   bool `json:"done,omitempty"`
+	Points int  `json:"points,omitempty"`
+	Errors int  `json:"errors,omitempty"`
+	Hits   int  `json:"hits,omitempty"`
+}
+
+type taskResult struct {
+	row    string
+	cached bool
+	err    error
+}
+
+// task is one enqueued sweep point; res is buffered so a worker's delivery
+// never blocks on a slow or departed client.
+type task struct {
+	spec harness.PointSpec
+	key  sweepcache.Key
+	res  chan taskResult
+}
+
+// serverOptions sizes the service; zero fields take defaults.
+type serverOptions struct {
+	// Workers is the number of concurrent sweep-point simulations
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueLimit bounds the points admitted but not yet finished, across
+	// all requests; a job that would exceed it is rejected with 429
+	// (default 4096).
+	QueueLimit int
+	// CacheEntries bounds the memoization store (default 65536).
+	CacheEntries int
+	// MaxJobPoints bounds one job's expansion (default 4096).
+	MaxJobPoints int
+}
+
+func (o serverOptions) withDefaults() serverOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 4096
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 65536
+	}
+	if o.MaxJobPoints <= 0 {
+		o.MaxJobPoints = 4096
+	}
+	return o
+}
+
+// server is the sweep service: a bounded queue drained by a worker pool,
+// fronted by the content-addressed cache.
+type server struct {
+	opts  serverOptions
+	cache *sweepcache.Cache
+	queue chan *task
+	// pending counts admitted-but-unfinished points; reserve checks it
+	// against QueueLimit before a job streams anything, so enqueues never
+	// block and overload is an up-front 429, not a hung request.
+	pending  atomic.Int64
+	jobs     atomic.Uint64
+	points   atomic.Uint64
+	errRows  atomic.Uint64
+	rejected atomic.Uint64
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+func newServer(o serverOptions) *server {
+	o = o.withDefaults()
+	s := &server{
+		opts:  o,
+		cache: sweepcache.New(o.CacheEntries),
+		queue: make(chan *task, o.QueueLimit),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	for i := 0; i < o.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool once the queue drains (test lifecycle; the
+// serving binary just exits).
+func (s *server) Close() { close(s.queue) }
+
+// worker drains the queue through the cache. PointSpec.Run recovers its
+// own panics and the cache recovers compute panics, so a poisoned point
+// reaches the client as an error row and the worker lives on.
+func (s *server) worker() {
+	for t := range s.queue {
+		row, cached, err := s.cache.Do(t.key, t.spec.Run)
+		s.pending.Add(-1)
+		s.points.Add(1)
+		if err != nil {
+			s.errRows.Add(1)
+		}
+		t.res <- taskResult{row: row, cached: cached, err: err}
+	}
+}
+
+// reserve admits n points against the queue limit, atomically.
+func (s *server) reserve(n int) bool {
+	for {
+		cur := s.pending.Load()
+		if cur+int64(n) > int64(s.opts.QueueLimit) {
+			return false
+		}
+		if s.pending.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
+}
+
+// handleSweep validates, admits and streams one job: rows go back as NDJSON
+// in point order, each flushed as soon as its prefix of the job completes,
+// so a client watches a large sweep fill in while later points are still
+// simulating or waiting behind other clients' work.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a sweep job to /sweep")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var j job
+	if err := dec.Decode(&j); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	specs, keys, err := j.expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	if len(specs) > s.opts.MaxJobPoints {
+		httpError(w, http.StatusBadRequest, "job expands to %d points, cap is %d",
+			len(specs), s.opts.MaxJobPoints)
+		return
+	}
+	if !s.reserve(len(specs)) {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "queue full (%d points pending, limit %d)",
+			s.pending.Load(), s.opts.QueueLimit)
+		return
+	}
+	s.jobs.Add(1)
+
+	// Admitted: enqueue everything (reserve guarantees capacity, so these
+	// sends never block), then stream rows in point order.
+	tasks := make([]*task, len(specs))
+	for i := range specs {
+		tasks[i] = &task{spec: specs[i], key: keys[i], res: make(chan taskResult, 1)}
+		s.queue <- tasks[i]
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var hits, errs int
+	for _, t := range tasks {
+		res := <-t.res
+		msg := rowMsg{ID: t.spec.ID(), Row: res.row, Cached: res.cached}
+		if res.err != nil {
+			errs++
+			msg = rowMsg{ID: t.spec.ID(), Error: res.err.Error()}
+		} else if res.cached {
+			hits++
+		}
+		if err := enc.Encode(msg); err != nil {
+			// Client gone. Remaining deliveries land in buffered channels;
+			// the workers still complete them into the cache.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(rowMsg{Done: true, Points: len(tasks), Errors: errs, Hits: hits})
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Workers       int              `json:"workers"`
+	QueuePending  int64            `json:"queue_pending"`
+	QueueLimit    int              `json:"queue_limit"`
+	Jobs          uint64           `json:"jobs"`
+	Points        uint64           `json:"points"`
+	ErrorRows     uint64           `json:"error_rows"`
+	Rejected429   uint64           `json:"rejected_429"`
+	Cache         sweepcache.Stats `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.opts.Workers,
+		QueuePending:  s.pending.Load(),
+		QueueLimit:    s.opts.QueueLimit,
+		Jobs:          s.jobs.Load(),
+		Points:        s.points.Load(),
+		ErrorRows:     s.errRows.Load(),
+		Rejected429:   s.rejected.Load(),
+		Cache:         s.cache.Stats(),
+	})
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenJobs covers every row of internal/harness/testdata/golden.tsv: the
+// same kind x cores x seed matrix the golden-conformance suite pins, here
+// submitted over HTTP.
+var goldenJobs = []string{
+	`{"workload":"tightloop","kinds":["Baseline","Baseline+","WiSyncNoT","WiSync"],"cores":[16,64],"seeds":[1]}`,
+	`{"workload":"tightloop","kinds":["Baseline","WiSync"],"cores":[16,64],"seeds":[42]}`,
+	`{"workload":"livermore2","kinds":["Baseline","WiSync"],"cores":[16,64],"seeds":[1]}`,
+	`{"workload":"livermore6","kinds":["Baseline","WiSync"],"cores":[16,64],"seeds":[1]}`,
+	`{"workload":"cas-fifo","kinds":["Baseline","WiSync"],"cores":[16,64],"seeds":[1]}`,
+}
+
+// loadGolden reads the committed golden matrix as id -> full row line.
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	b, err := os.ReadFile("../../internal/harness/testdata/golden.tsv")
+	if err != nil {
+		t.Fatalf("reading golden matrix: %v", err)
+	}
+	rows := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		id, _, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		rows[id] = line
+	}
+	return rows
+}
+
+func newTestServer(t *testing.T, o serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(o)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// postJob submits one job and parses the NDJSON stream. The trailing done
+// marker is returned separately from the result rows.
+func postJob(t *testing.T, url, body string) (rows []rowMsg, done rowMsg, status int) {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	if status != http.StatusOK {
+		return nil, rowMsg{}, status
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		var m rowMsg
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if m.Done {
+			sawDone = true
+			done = m
+			continue
+		}
+		rows = append(rows, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if !sawDone {
+		t.Fatalf("stream ended without done marker")
+	}
+	return rows, done, status
+}
+
+// TestServerGoldenSweep is the end-to-end smoke test: the full golden
+// matrix submitted over HTTP must stream back byte-identical to
+// testdata/golden.tsv, and a repeat of every job must be served entirely
+// from the cache, still byte-identical.
+func TestServerGoldenSweep(t *testing.T) {
+	golden := loadGolden(t)
+	s, ts := newTestServer(t, serverOptions{Workers: 4})
+
+	seen := make(map[string]string)
+	for _, body := range goldenJobs {
+		rows, done, status := postJob(t, ts.URL, body)
+		if status != http.StatusOK {
+			t.Fatalf("job %s: status %d", body, status)
+		}
+		if done.Errors != 0 || done.Points != len(rows) {
+			t.Fatalf("job %s: done=%+v with %d rows", body, done, len(rows))
+		}
+		for _, m := range rows {
+			if m.Error != "" {
+				t.Fatalf("error row %s: %s", m.ID, m.Error)
+			}
+			want, ok := golden[m.ID]
+			if !ok {
+				t.Fatalf("row %s not in the golden matrix", m.ID)
+			}
+			if m.Row != want {
+				t.Errorf("row %s drifted from golden:\ngot:  %s\nwant: %s", m.ID, m.Row, want)
+			}
+			seen[m.ID] = m.Row
+		}
+	}
+	if len(seen) != len(golden) {
+		t.Fatalf("jobs covered %d of %d golden rows", len(seen), len(golden))
+	}
+
+	// Repeat every job: 100% cache hits, rows byte-identical.
+	for _, body := range goldenJobs {
+		rows, done, _ := postJob(t, ts.URL, body)
+		if done.Hits != len(rows) {
+			t.Fatalf("repeat of %s: %d/%d rows cached", body, done.Hits, len(rows))
+		}
+		for _, m := range rows {
+			if !m.Cached {
+				t.Errorf("repeat row %s not served from cache", m.ID)
+			}
+			if m.Row != seen[m.ID] {
+				t.Errorf("cached row %s differs from first run:\ngot:  %s\nwant: %s", m.ID, m.Row, seen[m.ID])
+			}
+		}
+	}
+	if st := s.cache.Stats(); st.Hits < uint64(len(golden)) {
+		t.Fatalf("cache stats after repeat: %+v", st)
+	}
+}
+
+// TestServerRejectsMalformed pins satellite #1: every malformed-job class
+// is a 400 with a JSON error body — never a panic, never a worker crash.
+func TestServerRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{Workers: 1, MaxJobPoints: 8})
+	cases := map[string]string{
+		"not json":         `{"workload": tightloop}`,
+		"unknown field":    `{"workload":"tightloop","turbo":true}`,
+		"unknown workload": `{"workload":"mystery"}`,
+		"unknown app":      `{"workload":"app:doom"}`,
+		"unknown kind":     `{"workload":"tightloop","kinds":["Quantum"]}`,
+		"numeric kind":     `{"workload":"tightloop","kinds":[2]}`,
+		"unknown mac":      `{"workload":"tightloop","mac":"aloha"}`,
+		"unknown exec":     `{"workload":"tightloop","exec":"fiber"}`,
+		"unknown variant":  `{"workload":"tightloop","variant":"Turbo"}`,
+		"zero cores":       `{"workload":"tightloop","cores":[0]}`,
+		"too many cores":   `{"workload":"tightloop","cores":[500]}`,
+		"bad shards":       `{"workload":"tightloop","shards":65}`,
+		"iters beyond cap": `{"workload":"tightloop","iters":100001}`,
+		"job too large":    `{"workload":"tightloop","seeds":[1,2,3,4,5,6,7,8,9]}`,
+		"empty body":       ``,
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		dec := json.NewDecoder(resp.Body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		} else if err := dec.Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("%s: 400 without a JSON error body (%v)", name, err)
+		}
+		resp.Body.Close()
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /sweep: status %d, want 405", resp.StatusCode)
+	}
+	// The server is still healthy after all of the above.
+	if _, done, status := postJob(t, ts.URL, `{"workload":"tightloop","kinds":["WiSync"],"cores":[16]}`); status != http.StatusOK || done.Errors != 0 {
+		t.Fatalf("server unhealthy after malformed jobs: status=%d done=%+v", status, done)
+	}
+}
+
+// TestServerBackpressure pins the bounded-queue contract: a job that would
+// exceed the admission limit is an immediate 429 with Retry-After, counted
+// in /stats, and the server keeps serving afterwards.
+func TestServerBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{Workers: 1, QueueLimit: 2})
+	body := `{"workload":"tightloop","kinds":["Baseline","WiSync"],"cores":[16,64],"seeds":[1]}` // 4 points > limit 2
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	// A job inside the limit still goes through.
+	if _, done, status := postJob(t, ts.URL, `{"workload":"tightloop","kinds":["WiSync"],"cores":[16]}`); status != http.StatusOK || done.Errors != 0 {
+		t.Fatalf("in-limit job failed after 429: status=%d done=%+v", status, done)
+	}
+}
+
+// TestServerConcurrentIdenticalJobs hammers one job from many goroutines;
+// under -race this pins the queue/cache/stream locking, and every response
+// must be byte-identical (the load generator's invariant, in-process).
+func TestServerConcurrentIdenticalJobs(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{Workers: 4, QueueLimit: 256})
+	const clients = 32
+	body := `{"workload":"tightloop","kinds":["Baseline","WiSync"],"cores":[16],"seeds":[1]}`
+	results := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				results[i] = "ERR " + err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results[i] = fmt.Sprintf("ERR status %d", resp.StatusCode)
+				return
+			}
+			var fp bytes.Buffer
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+			for sc.Scan() {
+				var m rowMsg
+				if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+					results[i] = "ERR " + err.Error()
+					return
+				}
+				if m.Done {
+					continue
+				}
+				fmt.Fprintf(&fp, "%s\t%s\t%s\n", m.ID, m.Row, m.Error)
+			}
+			if err := sc.Err(); err != nil {
+				results[i] = "ERR " + err.Error()
+				return
+			}
+			results[i] = fp.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if strings.HasPrefix(results[i], "ERR") {
+			t.Fatalf("client %d: %s", i, results[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("client %d response differs:\n%s\nvs\n%s", i, results[i], results[0])
+		}
+	}
+}

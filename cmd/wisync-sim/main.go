@@ -76,11 +76,11 @@ func main() {
 		printList()
 		return
 	}
-	kind, ok := parseKind(*cfgName)
+	kind, ok := config.ParseKind(*cfgName)
 	if !ok {
 		fatalf("unknown config %q", *cfgName)
 	}
-	v, ok := parseVariant(*variant)
+	v, ok := config.ParseVariant(*variant)
 	if !ok {
 		fatalf("unknown variant %q", *variant)
 	}
@@ -107,6 +107,15 @@ func main() {
 	case knownWorkload(*workload):
 	default:
 		fatalf("unknown workload %q", *workload)
+	}
+	// Validate every sweep point's machine configuration up front through
+	// the single authority (config.Config.Validate): a bad core count or
+	// shard count is a usage error here, never a panic inside a worker.
+	for _, c := range coreList {
+		cfg := config.New(kind, c).WithVariant(v).WithSeed(*seed).WithMAC(mac).WithShards(*shards)
+		if err := cfg.Validate(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	// Self-describing output: echo the effective configuration first.
@@ -196,24 +205,6 @@ func parseCores(s string) ([]int, error) {
 		out = append(out, c)
 	}
 	return out, nil
-}
-
-func parseKind(s string) (config.Kind, bool) {
-	for _, k := range config.Kinds {
-		if strings.EqualFold(k.String(), s) {
-			return k, true
-		}
-	}
-	return 0, false
-}
-
-func parseVariant(s string) (config.Variant, bool) {
-	for _, v := range config.Variants {
-		if strings.EqualFold(v.String(), s) {
-			return v, true
-		}
-	}
-	return 0, false
 }
 
 func fatalf(format string, args ...any) {

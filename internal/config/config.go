@@ -174,19 +174,43 @@ func (c Config) WithMAC(k wireless.MACKind) Config {
 	return c
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. It is the single authority on
+// what a runnable machine configuration looks like: the cmds and the sweep
+// service all reject jobs through it, so a malformed job is a usage error
+// or an HTTP 400 — never a panic inside a sweep worker.
 func (c Config) Validate() error {
+	if c.Kind < Baseline || c.Kind > WiSync {
+		return fmt.Errorf("config: unknown machine kind %v", c.Kind)
+	}
 	if c.Cores < 1 || c.Cores > 256 {
 		return fmt.Errorf("config: %d cores outside supported range [1,256]", c.Cores)
 	}
 	if c.L1RT == 0 || c.L2RT == 0 || c.MemRT == 0 {
 		return fmt.Errorf("config: zero cache latency")
 	}
+	if c.L1Sets < 1 || c.L1Ways < 1 {
+		return fmt.Errorf("config: L1 geometry %dx%d invalid", c.L1Sets, c.L1Ways)
+	}
 	if c.Kind.HasBM() && c.BMEntries == 0 {
 		return fmt.Errorf("config: WiSync configuration with no BM entries")
 	}
 	if c.Shards < 0 || c.Shards > 64 {
 		return fmt.Errorf("config: %d shards outside supported range [0,64]", c.Shards)
+	}
+	if !c.Wireless.MAC.Valid() {
+		return fmt.Errorf("config: unknown MAC protocol %v", c.Wireless.MAC)
+	}
+	if c.Wireless.Backoff > wireless.BackoffAdaptive {
+		return fmt.Errorf("config: unknown backoff policy %d", c.Wireless.Backoff)
+	}
+	if c.Wireless.Defer > wireless.DeferContend {
+		return fmt.Errorf("config: unknown defer policy %d", c.Wireless.Defer)
+	}
+	if c.Kind.HasBM() && (c.Wireless.MsgCycles == 0 || c.Wireless.BulkCycles == 0) {
+		return fmt.Errorf("config: zero wireless message duration")
+	}
+	if c.Kind.HasTone() && c.Tone.TableSize < 1 {
+		return fmt.Errorf("config: tone table size %d invalid", c.Tone.TableSize)
 	}
 	return nil
 }

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // Exec selects the workload-thread execution mode of a kernel or
 // application run. Both modes produce bit-identical simulated results
 // (pinned by the equivalence suites in packages kernels and apps and the
@@ -27,4 +32,37 @@ func (x Exec) String() string {
 		return "thread"
 	}
 	return "exec?"
+}
+
+// ParseExec resolves an -exec flag value or a sweep-job field.
+func ParseExec(s string) (Exec, bool) {
+	switch s {
+	case "task":
+		return ExecTask, true
+	case "thread":
+		return ExecThread, true
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the mode as its flag name.
+func (x Exec) MarshalJSON() ([]byte, error) {
+	if x != ExecTask && x != ExecThread {
+		return nil, fmt.Errorf("core: cannot marshal invalid exec mode %d", int(x))
+	}
+	return json.Marshal(x.String())
+}
+
+// UnmarshalJSON accepts a mode name as ParseExec does.
+func (x *Exec) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("core: exec must be a name string: %w", err)
+	}
+	v, ok := ParseExec(s)
+	if !ok {
+		return fmt.Errorf("core: unknown exec mode %q (task or thread)", s)
+	}
+	*x = v
+	return nil
 }

@@ -42,12 +42,27 @@ type Machine struct {
 
 // NewMachine builds a machine for cfg. It panics on invalid configurations
 // (these are programming errors in the harness, not runtime conditions).
+// Long-running callers that receive configurations from the outside world
+// use New, the error-returning variant, instead.
 func NewMachine(cfg config.Config) *Machine {
-	if err := cfg.Validate(); err != nil {
+	m, err := New(cfg)
+	if err != nil {
 		panic(err)
 	}
+	return m
+}
+
+// New builds a machine for cfg, rejecting invalid configurations — and a
+// shard reconfiguration the engine cannot honor — with an error rather
+// than a panic, so a bad job config cannot crash a serving process.
+func New(cfg config.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine(cfg.Seed)
-	eng.ConfigureShards(cfg.Shards)
+	if err := eng.SetShards(cfg.Shards); err != nil {
+		return nil, err
+	}
 	mesh := noc.New(cfg.Cores, cfg.HopLatency)
 	mp := mem.Params{
 		Cores:         cfg.Cores,
@@ -77,7 +92,7 @@ func NewMachine(cfg config.Config) *Machine {
 	if cfg.Kind.HasTone() {
 		m.Tone = tone.New(eng, m.BM, m.Net, cfg.Tone)
 	}
-	return m
+	return m, nil
 }
 
 // AllocLine reserves one fresh cache line of regular memory and returns the

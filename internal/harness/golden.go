@@ -75,7 +75,8 @@ func GoldenRun(pt GoldenPoint) string { return GoldenRunExec(pt, kernels.ExecTas
 // to it (TestGoldenConformance pins the default, TestGoldenBlockingEquivalence
 // the reference mode).
 func GoldenRunExec(pt GoldenPoint, exec kernels.Exec) string {
-	return goldenRunCfg(pt, config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed), exec)
+	return mustRunPoint(PointSpec{Workload: pt.Kernel, Kind: pt.Kind, Cores: pt.Cores,
+		Seed: pt.Seed, Exec: exec})
 }
 
 // GoldenRunShards executes one point on an engine partitioned into the
@@ -83,36 +84,25 @@ func GoldenRunExec(pt GoldenPoint, exec kernels.Exec) string {
 // byte-identical to the unsharded golden file at any count
 // (TestGoldenShardInvariance pins it).
 func GoldenRunShards(pt GoldenPoint, shards int) string {
-	cfg := config.New(pt.Kind, pt.Cores).WithSeed(pt.Seed).WithShards(shards)
-	return goldenRunCfg(pt, cfg, kernels.ExecTask)
+	return mustRunPoint(PointSpec{Workload: pt.Kernel, Kind: pt.Kind, Cores: pt.Cores,
+		Seed: pt.Seed, Shards: shards})
 }
 
-func goldenRunCfg(pt GoldenPoint, cfg config.Config, exec kernels.Exec) string {
-	switch pt.Kernel {
-	case "tightloop":
-		r := kernels.TightLoopExec(cfg, 8, exec)
-		return goldenLine(pt, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration())))
-	case "livermore2":
-		r, x := kernels.Livermore2Exec(cfg, 96, 1, exec)
-		return goldenLine(pt, r, fmt.Sprintf("xsum=%s", gf(vecSum(x))))
-	case "livermore6":
-		r, w := kernels.Livermore6Exec(cfg, 40, exec)
-		return goldenLine(pt, r, fmt.Sprintf("wsum=%s", gf(vecSum(w))))
-	case "cas-fifo":
-		r := kernels.CASKernelExec(cfg, kernels.FIFO, 128, 20000, exec)
-		return pt.ID() + "\t" + strings.Join([]string{
-			fmt.Sprintf("ok=%d", r.Successes),
-			fmt.Sprintf("failed=%d", r.Failures),
-			fmt.Sprintf("per1000=%s", gf(r.Per1000)),
-			fmt.Sprintf("mem=%+v", r.Mem),
-			fmt.Sprintf("net=%+v", r.Net),
-		}, "\t")
+// mustRunPoint runs a spec whose failure would be a programming error in
+// the conformance matrix itself, not a runtime condition. The golden
+// kernels execute through the same PointSpec.Run path the sweep service
+// uses, so the service's default rows are byte-identical to the committed
+// golden matrix by construction.
+func mustRunPoint(s PointSpec) string {
+	row, err := s.Run()
+	if err != nil {
+		panic(err)
 	}
-	panic("harness: unknown golden kernel " + pt.Kernel)
+	return row
 }
 
 // goldenLine renders the shared kernels.Result columns plus extras.
-func goldenLine(pt GoldenPoint, r kernels.Result, extra ...string) string {
+func goldenLine(id string, r kernels.Result, extra ...string) string {
 	cols := []string{
 		fmt.Sprintf("cycles=%d", r.Cycles),
 		fmt.Sprintf("iters=%d", r.Iterations),
@@ -123,7 +113,7 @@ func goldenLine(pt GoldenPoint, r kernels.Result, extra ...string) string {
 		fmt.Sprintf("mem=%+v", r.Mem),
 		fmt.Sprintf("net=%+v", r.Net),
 	)
-	return pt.ID() + "\t" + strings.Join(cols, "\t")
+	return id + "\t" + strings.Join(cols, "\t")
 }
 
 // GoldenTable runs every point across the worker pool and returns the full

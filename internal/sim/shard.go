@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -233,14 +234,25 @@ func (ss *shardSet) clearAll() {
 // (n >= 1), or back to the unsharded engine (n <= 0, the default). One
 // shard exercises the full horizon machinery without host parallelism,
 // which is what the bit-identity suites lean on. It must be called before
-// any local events are scheduled — in practice right after NewEngine.
+// any local events are scheduled — in practice right after NewEngine — and
+// panics otherwise (a programming error in a harness). Long-running
+// callers that must survive bad inputs use SetShards instead.
 func (e *Engine) ConfigureShards(n int) {
+	if err := e.SetShards(n); err != nil {
+		panic(err)
+	}
+}
+
+// SetShards is ConfigureShards with an error return instead of a panic, so
+// the machine-construction path of a long-running service can reject a
+// reconfiguration attempt on a live engine without crashing the process.
+func (e *Engine) SetShards(n int) error {
 	if e.sh != nil && e.sh.pending() != 0 {
-		panic("sim: ConfigureShards with local events pending")
+		return errors.New("sim: cannot reconfigure shards with local events pending")
 	}
 	if n <= 0 {
 		e.sh = nil
-		return
+		return nil
 	}
 	sh := &shardSet{
 		shards: make([]shard, n),
@@ -252,6 +264,7 @@ func (e *Engine) ConfigureShards(n int) {
 	}
 	sh.resetMin()
 	e.sh = sh
+	return nil
 }
 
 // Shards returns the configured shard count, 0 when unsharded.

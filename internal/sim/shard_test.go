@@ -144,3 +144,46 @@ func TestShardUnshardedIdentity(t *testing.T) {
 		t.Fatalf("Shards() = %d after reset, want 0", eng.Shards())
 	}
 }
+
+// TestSetShardsPendingLocalEvents is the regression test for the
+// mid-run-reconfiguration bugfix: with local events queued, SetShards must
+// return an error (so a long-running service can reject the job), while
+// ConfigureShards keeps its panic contract for harness programming errors.
+// Once the events drain, reconfiguration works again.
+func TestSetShardsPendingLocalEvents(t *testing.T) {
+	eng := NewEngine(1)
+	eng.ConfigureShards(2)
+	ran := false
+	eng.ScheduleAt(0, PrioNormal, func() {
+		eng.LocalSleepThen(0, 100, func() { ran = true })
+	})
+	if err := eng.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetShards(4); err == nil {
+		t.Fatal("SetShards succeeded with local events pending")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ConfigureShards did not panic with local events pending")
+			}
+		}()
+		eng.ConfigureShards(4)
+	}()
+	if eng.Shards() != 2 {
+		t.Fatalf("failed reconfiguration changed the shard count to %d", eng.Shards())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("pending local event never fired")
+	}
+	if err := eng.SetShards(4); err != nil {
+		t.Fatalf("SetShards after drain: %v", err)
+	}
+	if eng.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", eng.Shards())
+	}
+}

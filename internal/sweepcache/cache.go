@@ -1,0 +1,169 @@
+// Package sweepcache is the content-addressed result store behind the
+// sweep service: completed sweep points keyed by (config digest, seed),
+// with LRU eviction, single-flight deduplication of concurrent identical
+// points, and hit/miss/in-flight metrics.
+//
+// The cache is only sound because every sweep point is deterministic: the
+// same digest and seed always produce the same row (pinned end to end by
+// the golden-conformance suites), so a cached row is indistinguishable
+// from a recomputed one and repeated or overlapping sweeps from many
+// clients cost near zero. Errors are never cached — a failed computation
+// is retried on the next request for the same key.
+package sweepcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Key addresses one sweep point: the content digest of its canonical
+// configuration (workload, parameters, machine — see
+// harness.PointSpec.Digest) plus the seed, kept separate so seed sweeps
+// over one configuration read as siblings of one digest.
+type Key struct {
+	Digest string
+	Seed   uint64
+}
+
+// Stats are the cache's counters, read through Cache.Stats.
+type Stats struct {
+	// Hits counts Do calls served from a completed entry; Misses counts
+	// calls that computed; InflightWaits counts calls that joined another
+	// caller's in-progress computation of the same key.
+	Hits, Misses, InflightWaits uint64
+	// Evictions counts entries dropped by the LRU bound; Errors counts
+	// computations that returned an error (never cached).
+	Evictions, Errors uint64
+	// Entries and Capacity describe the store's current occupancy.
+	Entries, Capacity int
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	row  string
+	err  error
+}
+
+// Cache is a bounded, concurrency-safe result store. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *entry
+	items    map[Key]*list.Element
+	inflight map[Key]*call
+	stats    Stats
+}
+
+type entry struct {
+	key Key
+	row string
+}
+
+// New returns a cache bounded to capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// Get returns the cached row for key, if present, marking it recently
+// used. It never waits on an in-flight computation.
+func (c *Cache) Get(key Key) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).row, true
+	}
+	return "", false
+}
+
+// Do returns the row for key, computing it at most once across all
+// concurrent callers: a completed entry is returned immediately (cached
+// true), a second caller for a key someone is already computing waits for
+// that computation (cached true — it cost this caller nothing), and
+// otherwise compute runs on the calling goroutine and its result is
+// stored (cached false). A compute panic is converted to an error for
+// every waiter, so one poisoned point cannot wedge or crash the cache.
+func (c *Cache) Do(key Key, compute func() (string, error)) (row string, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		row = el.Value.(*entry).row
+		c.mu.Unlock()
+		return row, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.InflightWaits++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.row, true, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	cl.row, cl.err = runCompute(compute)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.insert(key, cl.row)
+	} else {
+		c.stats.Errors++
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.row, false, cl.err
+}
+
+// runCompute shields the cache from a panicking computation.
+func runCompute(compute func() (string, error)) (row string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweepcache: compute panicked: %v", r)
+		}
+	}()
+	return compute()
+}
+
+// insert stores a completed row, evicting from the LRU tail. Caller holds
+// c.mu.
+func (c *Cache) insert(key Key, row string) {
+	if el, ok := c.items[key]; ok {
+		// A concurrent Do of the same key can complete while this one
+		// computed (both were in-flight only if one joined the other, so
+		// this arises only through Get/Do interleavings); deterministic
+		// points make both rows identical, keep the existing entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, row: row})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.capacity
+	return s
+}

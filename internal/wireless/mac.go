@@ -1,6 +1,7 @@
 package wireless
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"wisync/internal/sim"
@@ -55,6 +56,32 @@ func ParseMACKind(s string) (MACKind, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Valid reports whether k names a selectable protocol.
+func (k MACKind) Valid() bool { return k <= MACAdaptive }
+
+// MarshalJSON renders the protocol as its flag name; unknown values are an
+// error so a corrupt kind cannot produce a plausible canonical form.
+func (k MACKind) MarshalJSON() ([]byte, error) {
+	if !k.Valid() {
+		return nil, fmt.Errorf("wireless: cannot marshal invalid %v", k)
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts a protocol name as ParseMACKind does.
+func (k *MACKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("wireless: mac must be a name string: %w", err)
+	}
+	v, ok := ParseMACKind(s)
+	if !ok {
+		return fmt.Errorf("wireless: unknown mac %q", s)
+	}
+	*k = v
+	return nil
 }
 
 // MACStats are the per-protocol arbitration counters, kept separate from
