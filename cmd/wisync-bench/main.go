@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"wisync/internal/channel"
 	"wisync/internal/core"
 	"wisync/internal/harness"
 	"wisync/internal/profiling"
@@ -60,11 +61,22 @@ func macNames() []string {
 	return names
 }
 
+func channelNames() []string {
+	names := make([]string, len(channel.Profiles))
+	for i, p := range channel.Profiles {
+		names[i] = p.String()
+	}
+	return names
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results are identical at any value")
 	shards := flag.Int("shards", 0, "engine shards per sweep point (0 = unsharded); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+strings.Join(macNames(), "|"))
+	chName := flag.String("channel", "ideal", "wireless channel-error profile: "+strings.Join(channelNames(), "|"))
+	ber := flag.Float64("ber", 0, "raw bit-error rate of the worst link for lossy -channel profiles (0 = profile default)")
+	retries := flag.Int("retries", 0, "retransmission budget per message for lossy -channel profiles (0 = default)")
 	execName := flag.String("exec", "task", "application workload execution mode: task|thread (identical simulated results)")
 	verbose := flag.Bool("v", false, "append scheduler-internals diagnostics (# sched lines: wheel hits, heap fallbacks, step-pool reuse)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -79,11 +91,22 @@ func main() {
 	if *list {
 		fmt.Printf("subcommands: %s\n", strings.Join(commandNames(), " "))
 		fmt.Printf("macs: %s\n", strings.Join(macNames(), " "))
+		fmt.Printf("channels: %s\n", strings.Join(channelNames(), " "))
 		return
 	}
 	mac, ok := wireless.ParseMACKind(*macName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "wisync-bench: unknown MAC %q (one of: %s)\n", *macName, strings.Join(macNames(), ", "))
+		os.Exit(2)
+	}
+	chProfile, ok := channel.ParseProfile(*chName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wisync-bench: unknown channel profile %q (one of: %s)\n", *chName, strings.Join(channelNames(), ", "))
+		os.Exit(2)
+	}
+	chParams := channel.Params{Profile: chProfile, BER: *ber, MaxRetries: *retries}
+	if err := chParams.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)
 		os.Exit(2)
 	}
 	exec, ok := core.ParseExec(*execName)
@@ -95,7 +118,7 @@ func main() {
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
-	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac,
+	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac, Channel: chParams,
 		Exec: exec, Shards: *shards, Verbose: *verbose, Out: os.Stdout}
 	for _, c := range commands {
 		if c.name != what {
@@ -108,7 +131,8 @@ func main() {
 		if what == "macs" {
 			macDesc = "all-compared"
 		}
-		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d shards=%d mac=%s exec=%v seed=1\n", what, *quick, *workers, *shards, macDesc, exec)
+		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d shards=%d mac=%s channel=%v ber=%g retries=%d exec=%v seed=1\n",
+			what, *quick, *workers, *shards, macDesc, chProfile, *ber, *retries, exec)
 		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)

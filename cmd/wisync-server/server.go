@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wisync/internal/channel"
 	"wisync/internal/config"
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
@@ -33,6 +34,12 @@ type job struct {
 	Passes   int              `json:"passes,omitempty"`
 	CS       int              `json:"cs,omitempty"`
 	Duration uint64           `json:"duration,omitempty"`
+	// Channel/BER/Retries select the channel-error model; the omitted
+	// default is the ideal channel, under which every row is byte-identical
+	// to the golden matrix.
+	Channel channel.Profile `json:"channel,omitempty"`
+	BER     float64         `json:"ber,omitempty"`
+	Retries int             `json:"retries,omitempty"`
 }
 
 // expand crosses the job's lists into normalized, validated point specs
@@ -58,6 +65,7 @@ func (j job) expand() ([]harness.PointSpec, []sweepcache.Key, error) {
 					Workload: j.Workload, Kind: k, Cores: cores, Seed: seed,
 					Variant: j.Variant, MAC: j.MAC, Exec: j.Exec, Shards: j.Shards,
 					Iters: j.Iters, N: j.N, Passes: j.Passes, CS: j.CS, Duration: j.Duration,
+					Channel: j.Channel, BER: j.BER, Retries: j.Retries,
 				}
 				n, err := spec.Normalize()
 				if err != nil {

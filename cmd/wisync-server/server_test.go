@@ -274,3 +274,88 @@ func TestServerConcurrentIdenticalJobs(t *testing.T) {
 		}
 	}
 }
+
+// TestServerChannelJobs pins the channel axis over HTTP: an explicit ideal
+// channel streams rows byte-identical to the golden matrix and shares
+// cache entries with the implicit default, a lossy job reports
+// retransmissions and energy, and the two never share a cache row.
+func TestServerChannelJobs(t *testing.T) {
+	golden := loadGolden(t)
+	_, ts := newTestServer(t, serverOptions{Workers: 2})
+
+	// Prime the cache with the default (no channel field) job.
+	implicit := `{"workload":"tightloop","kinds":["WiSync"],"cores":[16],"seeds":[1]}`
+	rows, done, status := postJob(t, ts.URL, implicit)
+	if status != http.StatusOK || done.Errors != 0 || len(rows) != 1 {
+		t.Fatalf("implicit job: status=%d done=%+v", status, done)
+	}
+	if want := golden[rows[0].ID]; rows[0].Row != want {
+		t.Fatalf("implicit row drifted from golden:\ngot:  %s\nwant: %s", rows[0].Row, want)
+	}
+
+	// The explicit ideal form is the same point: byte-identical and a
+	// cache hit.
+	explicit := `{"workload":"tightloop","kinds":["WiSync"],"cores":[16],"seeds":[1],"channel":"ideal"}`
+	rows2, done2, _ := postJob(t, ts.URL, explicit)
+	if done2.Hits != 1 || !rows2[0].Cached {
+		t.Fatalf("explicit ideal job missed the cache: done=%+v", done2)
+	}
+	if rows2[0].Row != rows[0].Row {
+		t.Fatalf("explicit ideal row differs from implicit:\ngot:  %s\nwant: %s", rows2[0].Row, rows[0].Row)
+	}
+
+	// A lossy job is a different content address: no cache hit, and its
+	// row carries the energy/retransmission columns.
+	lossy := `{"workload":"tightloop","kinds":["WiSyncNoT"],"cores":[64],"seeds":[3],"channel":"uniform","ber":1e-5,"retries":20}`
+	rows3, done3, _ := postJob(t, ts.URL, lossy)
+	if done3.Errors != 0 || len(rows3) != 1 {
+		t.Fatalf("lossy job: done=%+v", done3)
+	}
+	if rows3[0].Cached {
+		t.Fatal("lossy job hit the ideal-channel cache entry")
+	}
+	row := rows3[0].Row
+	if !strings.Contains(row, "\tenergy=") || !strings.Contains(row, "\tretx=") {
+		t.Fatalf("lossy row missing energy columns: %s", row)
+	}
+	if strings.Contains(row, "retx=0\t") || strings.Contains(row, "energy=0pJ") {
+		t.Fatalf("lossy row reports no corruption at BER 1e-5: %s", row)
+	}
+	// The repeat is a cache hit, and the sharded form shares the same
+	// content address — sharding stays digest-excluded for lossy points
+	// because corruption draws are shard-invariant (pinned end-to-end by
+	// TestLossyPointDeterministic in internal/harness).
+	rows4, done4, _ := postJob(t, ts.URL, lossy)
+	if done4.Hits != 1 || rows4[0].Row != row {
+		t.Fatalf("lossy repeat: done=%+v row=%s", done4, rows4[0].Row)
+	}
+	sharded := `{"workload":"tightloop","kinds":["WiSyncNoT"],"cores":[64],"seeds":[3],"channel":"uniform","ber":1e-5,"retries":20,"shards":2}`
+	rows5, done5, _ := postJob(t, ts.URL, sharded)
+	if done5.Errors != 0 || done5.Hits != 1 {
+		t.Fatalf("sharded lossy job did not share the cache entry: done=%+v", done5)
+	}
+	if rows5[0].Row != row {
+		t.Fatalf("lossy row diverged at 2 shards:\ngot:  %s\nwant: %s", rows5[0].Row, row)
+	}
+
+	// Unknown profile names are a 400 like every other enum.
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"workload":"tightloop","channel":"rayleigh"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown channel profile: status %d, want 400", resp.StatusCode)
+	}
+	// Out-of-range BER under a lossy profile is caught by validation.
+	resp, err = http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"workload":"tightloop","channel":"uniform","ber":1.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range BER: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"wisync/internal/apps"
+	"wisync/internal/channel"
 	"wisync/internal/config"
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
@@ -54,6 +55,14 @@ func macNames() string {
 	return strings.Join(names, "|")
 }
 
+func channelNames() string {
+	var names []string
+	for _, p := range channel.Profiles {
+		names = append(names, p.String())
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
 	cfgName := flag.String("config", "WiSync", "machine kind: Baseline, Baseline+, WiSyncNoT, WiSync")
 	cores := flag.String("cores", "64", "core count 16-256, or a comma-separated sweep list")
@@ -67,6 +76,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep points for a -cores list (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 0, "engine shards per point (0 = unsharded); results are identical at any value")
 	macName := flag.String("mac", "backoff", "wireless MAC protocol: "+macNames())
+	chName := flag.String("channel", "ideal", "wireless channel-error profile: "+channelNames())
+	ber := flag.Float64("ber", 0, "raw bit-error rate of the worst link for lossy -channel profiles (0 = profile default)")
+	retries := flag.Int("retries", 0, "retransmission budget per message for lossy -channel profiles (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available workloads, configs, variants and MACs, then exit")
@@ -88,6 +100,11 @@ func main() {
 	if !ok {
 		fatalf("unknown MAC %q (one of: %s)", *macName, macNames())
 	}
+	chProfile, ok := channel.ParseProfile(*chName)
+	if !ok {
+		fatalf("unknown channel profile %q (one of: %s)", *chName, channelNames())
+	}
+	chParams := channel.Params{Profile: chProfile, BER: *ber, MaxRetries: *retries}
 	coreList, err := parseCores(*cores)
 	if err != nil {
 		fatalf("%v", err)
@@ -112,15 +129,16 @@ func main() {
 	// the single authority (config.Config.Validate): a bad core count or
 	// shard count is a usage error here, never a panic inside a worker.
 	for _, c := range coreList {
-		cfg := config.New(kind, c).WithVariant(v).WithSeed(*seed).WithMAC(mac).WithShards(*shards)
+		cfg := config.New(kind, c).WithVariant(v).WithSeed(*seed).WithMAC(mac).
+			WithShards(*shards).WithChannel(chParams)
 		if err := cfg.Validate(); err != nil {
 			fatalf("%v", err)
 		}
 	}
 
 	// Self-describing output: echo the effective configuration first.
-	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d shards=%d mac=%v workload=%s\n",
-		kind, *cores, v, *seed, *workers, *shards, mac, *workload)
+	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d shards=%d mac=%v channel=%v ber=%g retries=%d workload=%s\n",
+		kind, *cores, v, *seed, *workers, *shards, mac, chProfile, *ber, *retries, *workload)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatalf("%v", err)
@@ -129,7 +147,8 @@ func main() {
 	// list order so the output does not depend on the worker count.
 	outputs := make([]strings.Builder, len(coreList))
 	harness.ForEach(*workers, len(coreList), func(i int) {
-		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac).WithShards(*shards)
+		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac).
+			WithShards(*shards).WithChannel(chParams)
 		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
 	})
 	stopProfiles()
@@ -158,31 +177,45 @@ func printList() {
 	}
 	fmt.Printf("variants: %s\n", strings.Join(variants, " "))
 	fmt.Printf("macs: %s\n", strings.ReplaceAll(macNames(), "|", " "))
+	fmt.Printf("channels: %s\n", strings.ReplaceAll(channelNames(), "|", " "))
 }
 
 func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile apps.Profile, n, iters, cs int, duration uint64) {
+	// printEnergy appends the transceiver energy ledger after a lossy-
+	// channel run; ideal-channel output is unchanged.
+	printEnergy := func(e wireless.EnergyStats) {
+		if cfg.Wireless.Channel.Profile != channel.Ideal {
+			fmt.Fprintf(out, "# energy %s\n", e)
+		}
+	}
 	switch {
 	case workload == "tightloop":
 		r := kernels.TightLoop(cfg, iters)
 		fmt.Fprintln(out, r)
 		fmt.Fprintf(out, "data channel utilization: %.3f%%\n", 100*r.DataChannelUtil)
+		printEnergy(r.Energy)
 	case workload == "liv2":
 		r, _ := kernels.Livermore2(cfg, n, 1)
 		fmt.Fprintln(out, r)
+		printEnergy(r.Energy)
 	case workload == "liv3":
 		r, sum := kernels.Livermore3(cfg, n, 1)
 		fmt.Fprintln(out, r)
 		fmt.Fprintf(out, "inner product: %g\n", sum)
+		printEnergy(r.Energy)
 	case workload == "liv6":
 		r, _ := kernels.Livermore6(cfg, n)
 		fmt.Fprintln(out, r)
+		printEnergy(r.Energy)
 	case workload == "fifo" || workload == "lifo" || workload == "add":
 		kn := map[string]kernels.CASKind{"fifo": kernels.FIFO, "lifo": kernels.LIFO, "add": kernels.ADD}[workload]
 		r := kernels.CASKernel(cfg, kn, cs, sim.Time(duration))
 		fmt.Fprintln(out, r)
+		printEnergy(r.Energy)
 	case strings.HasPrefix(workload, "app:"):
 		r := apps.Run(cfg, appProfile)
 		fmt.Fprintln(out, r)
+		printEnergy(r.Energy)
 	}
 }
 

@@ -69,6 +69,9 @@ type Result struct {
 	Mem mem.Stats
 	Net wireless.Stats
 	MAC wireless.MACStats
+	// Energy is the Data channel's transceiver energy ledger and
+	// channel-error delivery counters (see kernels.Result).
+	Energy wireless.EnergyStats
 	// Sched reports the engine's scheduling internals (timing-wheel hits,
 	// heap fallbacks, recycled-step reuse). Unlike every field above it
 	// describes simulator mechanics, not simulated behavior: the two
@@ -181,6 +184,7 @@ func RunExec(cfg config.Config, p Profile, exec core.Exec) Result {
 	if m.Net != nil {
 		r.Net = m.Net.Stats
 		r.MAC = m.Net.MACCounters()
+		r.Energy = m.Net.Energy
 	}
 	return r
 }

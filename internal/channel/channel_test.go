@@ -1,0 +1,202 @@
+package channel
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"wisync/internal/sim"
+)
+
+func TestProfileNamesRoundTrip(t *testing.T) {
+	for _, p := range Profiles {
+		got, ok := ParseProfile(p.String())
+		if !ok || got != p {
+			t.Fatalf("ParseProfile(%q) = %v, %v", p.String(), got, ok)
+		}
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		var q Profile
+		if err := json.Unmarshal(b, &q); err != nil || q != p {
+			t.Fatalf("json round trip of %v: %v, %v", p, q, err)
+		}
+	}
+	if _, ok := ParseProfile("rayleigh"); ok {
+		t.Fatal("unknown profile parsed")
+	}
+	var p Profile
+	if err := json.Unmarshal([]byte(`"fading"`), &p); err == nil {
+		t.Fatal("unknown profile name decoded")
+	}
+	if err := json.Unmarshal([]byte(`2`), &p); err == nil {
+		t.Fatal("numeric profile decoded; names are the wire form")
+	}
+	if _, err := Profile(9).MarshalJSON(); err == nil {
+		t.Fatal("invalid profile marshaled")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{
+		{},
+		DefaultParams(),
+		{Profile: Uniform, BER: 1e-3},
+		{Profile: Distance, BER: 0.1, MaxRetries: MaxRetriesCap},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", p, err)
+		}
+	}
+	bad := []Params{
+		{Profile: 9},
+		{Profile: Uniform, BER: -0.1},
+		{Profile: Uniform, BER: 1},
+		{Profile: Uniform, BER: 1e-3, MaxRetries: -1},
+		{Profile: Uniform, BER: 1e-3, MaxRetries: MaxRetriesCap + 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v validated", p)
+		}
+	}
+}
+
+func TestIdealNeverCorrupts(t *testing.T) {
+	m, err := New(64, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Ideal() {
+		t.Fatal("default model is not ideal")
+	}
+	rng := sim.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if m.Corrupts(rng, i%64, 77) {
+			t.Fatal("ideal channel corrupted a transmission")
+		}
+	}
+	if m.LinkBER(0, 63) != 0 {
+		t.Fatal("ideal channel has a nonzero link BER")
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	const ber = 1e-3
+	m, err := New(16, Params{Profile: Uniform, BER: ber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			want := ber
+			if src == dst {
+				want = 0
+			}
+			if got := m.LinkBER(src, dst); got != want {
+				t.Fatalf("LinkBER(%d,%d) = %g, want %g", src, dst, got, want)
+			}
+		}
+	}
+	if m.MaxRetries() != DefaultMaxRetries {
+		t.Fatalf("zero MaxRetries resolved to %d, want %d", m.MaxRetries(), DefaultMaxRetries)
+	}
+}
+
+// TestDistanceMatrix pins the position dependence: the corner-to-corner
+// link carries the configured raw BER, nearer links carry quadratically
+// less, and the matrix is symmetric (distance is).
+func TestDistanceMatrix(t *testing.T) {
+	const ber = 1e-2
+	n := 16 // 4x4 grid
+	m, err := New(n, Params{Profile: Distance, BER: ber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LinkBER(0, n-1); math.Abs(got-ber) > 1e-15 {
+		t.Fatalf("corner-to-corner BER = %g, want %g", got, ber)
+	}
+	if near, far := m.LinkBER(0, 1), m.LinkBER(0, n-1); near >= far {
+		t.Fatalf("adjacent link BER %g not below corner link %g", near, far)
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if a, b := m.LinkBER(src, dst), m.LinkBER(dst, src); a != b {
+				t.Fatalf("asymmetric matrix: (%d,%d)=%g (%d,%d)=%g", src, dst, a, dst, src, b)
+			}
+		}
+	}
+	// On a 4x4 grid, 0 -> 1 is distance 1 of dmax = sqrt(18); BER scales
+	// with the squared normalized distance.
+	want := ber * (1.0 / 18.0)
+	if got := m.LinkBER(0, 1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("adjacent BER = %g, want %g", got, want)
+	}
+}
+
+// TestCorruptionScheduleDeterministic pins that identical (seed, config)
+// inputs reproduce the same corruption schedule draw for draw.
+func TestCorruptionScheduleDeterministic(t *testing.T) {
+	mk := func() []bool {
+		m, err := New(64, Params{Profile: Distance, BER: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(42)
+		out := make([]bool, 500)
+		for i := range out {
+			out[i] = m.Corrupts(rng, i%64, 77+192*(i%2))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	var corrupted int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged", i)
+		}
+		if a[i] {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corruption at BER 0.02 over 500 frames; schedule is vacuous")
+	}
+}
+
+// TestCorruptionRateTracksBER sanity-checks the survival math: at raw BER
+// b, a B-bit broadcast to r receivers corrupts with probability
+// 1-(1-b)^(B*r), and the empirical rate over many draws lands near it.
+func TestCorruptionRateTracksBER(t *testing.T) {
+	const ber, bits, nodes = 1e-4, 77, 64
+	m, err := New(nodes, Params{Profile: Uniform, BER: ber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(7)
+	const draws = 200000
+	var corrupted int
+	for i := 0; i < draws; i++ {
+		if m.Corrupts(rng, 0, bits) {
+			corrupted++
+		}
+	}
+	want := 1 - math.Pow(1-ber, bits*(nodes-1))
+	got := float64(corrupted) / draws
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("empirical corruption rate %g, analytic %g", got, want)
+	}
+}
+
+func TestEnergyPrices(t *testing.T) {
+	// The 22 nm Data transceiver lands at ~16 mW / 16 Gb/s = ~1 pJ/bit,
+	// the Tone addon at 2 mW over a 1 Gb/s signal = 2 pJ/bit.
+	if DataPJPerBit < 0.9 || DataPJPerBit > 1.1 {
+		t.Fatalf("DataPJPerBit = %g, want ~1", DataPJPerBit)
+	}
+	if TonePJPerBit != 2.0 {
+		t.Fatalf("TonePJPerBit = %g, want 2", TonePJPerBit)
+	}
+}

@@ -1,0 +1,27 @@
+// Transceiver energy pricing.
+//
+// Mansoor et al.'s traffic-aware MAC work (PAPERS.md) frames energy per
+// transmitted bit as the first-class WNoC metric. The prices here come
+// straight from the repository's rfmodel scaling argument (Section 2 /
+// Table 4): a transceiver running at power P while sustaining bandwidth W
+// spends P/W energy per bit, and mW per Gb/s is exactly pJ per bit.
+package channel
+
+import "wisync/internal/rfmodel"
+
+// toneSignalGbps is the Tone transceiver's effective signaling rate: the
+// tone is a one-bit-per-cycle signal at the 1 ns slot time, i.e. 1 Gb/s.
+const toneSignalGbps = 1.0
+
+// DataPJPerBit is the Data transceiver's energy per transmitted bit in
+// picojoules: the 22 nm-scaled Yu et al. design's power over its 16 Gb/s
+// bandwidth (~1 pJ/bit).
+var DataPJPerBit = func() float64 {
+	d := rfmodel.Scale(rfmodel.Yu65, 22)
+	return d.PowerMW / d.BandwidthGbps
+}()
+
+// TonePJPerBit is the Tone transceiver's energy per signaled bit in
+// picojoules: the 22 nm Tone addon power over the one-bit-per-slot
+// signaling rate (2 pJ/bit).
+var TonePJPerBit = rfmodel.ToneAddonPower22 / toneSignalGbps

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"wisync/internal/channel"
 	"wisync/internal/wireless"
 )
 
@@ -103,6 +104,7 @@ var enumSizes = map[reflect.Type]int64{
 	reflect.TypeOf(wireless.MACKind(0)):       int64(len(wireless.MACKinds)),
 	reflect.TypeOf(wireless.BackoffPolicy(0)): 3,
 	reflect.TypeOf(wireless.DeferPolicy(0)):   2,
+	reflect.TypeOf(channel.Profile(0)):        int64(len(channel.Profiles)),
 }
 
 // leafPaths enumerates every leaf field path of t, recursing into nested
@@ -220,6 +222,14 @@ func TestValidateCentralized(t *testing.T) {
 		func() Config { c := good; c.Wireless.MsgCycles = 0; return c }(),
 		func() Config { c := good; c.Tone.TableSize = 0; return c }(),
 		func() Config { c := good; c.L1Sets = 0; return c }(),
+		func() Config { c := good; c.Wireless.Channel.Profile = 9; return c }(),
+		func() Config { c := good; c.Wireless.Channel.BER = -1; return c }(),
+		func() Config { c := good; c.Wireless.Channel.BER = 1; return c }(),
+		func() Config {
+			c := good
+			c.Wireless.Channel.MaxRetries = channel.MaxRetriesCap + 1
+			return c
+		}(),
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

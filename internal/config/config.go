@@ -7,6 +7,7 @@ package config
 import (
 	"fmt"
 
+	"wisync/internal/channel"
 	"wisync/internal/sim"
 	"wisync/internal/tone"
 	"wisync/internal/wireless"
@@ -174,6 +175,13 @@ func (c Config) WithMAC(k wireless.MACKind) Config {
 	return c
 }
 
+// WithChannel returns the configuration with a different channel-error
+// model under the Data channel (the paper's ideal channel is the default).
+func (c Config) WithChannel(p channel.Params) Config {
+	c.Wireless.Channel = p
+	return c
+}
+
 // Validate reports configuration errors. It is the single authority on
 // what a runnable machine configuration looks like: the cmds and the sweep
 // service all reject jobs through it, so a malformed job is a usage error
@@ -208,6 +216,9 @@ func (c Config) Validate() error {
 	}
 	if c.Kind.HasBM() && (c.Wireless.MsgCycles == 0 || c.Wireless.BulkCycles == 0) {
 		return fmt.Errorf("config: zero wireless message duration")
+	}
+	if err := c.Wireless.Channel.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	if c.Kind.HasTone() && c.Tone.TableSize < 1 {
 		return fmt.Errorf("config: tone table size %d invalid", c.Tone.TableSize)

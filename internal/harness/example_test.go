@@ -1,0 +1,68 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+
+	"wisync/internal/channel"
+	"wisync/internal/config"
+	"wisync/internal/harness"
+)
+
+// ExamplePointSpec builds one sweep point, validates it, and runs it to a
+// golden-format metrics row. The zero value of every optional field is the
+// canonical default, so this spec names the same simulation as the first
+// row of testdata/golden.tsv — the output below is that row's ID and
+// headline column, byte for byte.
+func ExamplePointSpec() {
+	spec := harness.PointSpec{
+		Workload: "tightloop",
+		Kind:     config.WiSync,
+		Cores:    16,
+		Seed:     1,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	row, err := spec.Run()
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	cols := strings.SplitN(row, "\t", 3)
+	fmt.Println(cols[0])
+	fmt.Println(cols[1])
+	// Output:
+	// tightloop/WiSync/16c/s1
+	// cycles=1804
+}
+
+// ExamplePointSpec_lossyChannel selects a lossy channel-error profile.
+// Lossy rows carry three extra columns — total transceiver energy,
+// retransmissions, delivery failures — while the default ideal channel
+// keeps every row byte-identical to the golden matrices.
+func ExamplePointSpec_lossyChannel() {
+	spec := harness.PointSpec{
+		Workload: "tightloop",
+		Kind:     config.WiSyncNoT,
+		Cores:    64,
+		Seed:     3,
+		Channel:  channel.Uniform,
+		BER:      1e-5,
+		Retries:  20,
+	}
+	row, err := spec.Run()
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	for _, col := range strings.Split(row, "\t") {
+		if strings.HasPrefix(col, "retx=") || strings.HasPrefix(col, "drops=") {
+			fmt.Println(col)
+		}
+	}
+	// Output:
+	// retx=30
+	// drops=0
+}

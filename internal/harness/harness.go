@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"wisync/internal/apps"
+	"wisync/internal/channel"
 	"wisync/internal/config"
 	"wisync/internal/kernels"
 	"wisync/internal/rfmodel"
@@ -44,6 +45,11 @@ type Options struct {
 	// It has no effect on wired configurations. MACSweep ignores it — it
 	// compares all protocols.
 	MAC wireless.MACKind
+	// Channel selects the channel-error model for every sweep point (zero
+	// value: the paper's ideal channel, under which all output is
+	// byte-identical to the pre-channel harness). No effect on wired
+	// configurations.
+	Channel channel.Params
 	// Exec selects the workload execution mode for the full-application
 	// sweeps (Fig10, Table5, Fig11). The zero value is the task
 	// (continuation) mode — the fast path; ExecThread runs the blocking
@@ -66,7 +72,7 @@ type Options struct {
 // Config builds one sweep point's machine configuration with the
 // option-level overrides (MAC protocol, engine shards) applied.
 func (o Options) Config(kind config.Kind, cores int) config.Config {
-	return config.New(kind, cores).WithMAC(o.MAC).WithShards(o.Shards)
+	return config.New(kind, cores).WithMAC(o.MAC).WithShards(o.Shards).WithChannel(o.Channel)
 }
 
 func (o Options) out() io.Writer {
@@ -324,6 +330,9 @@ type AppRow struct {
 	// Sched aggregates the scheduler-internals counters over the app's
 	// four runs, for Options.Verbose diagnostics.
 	Sched sim.SchedStats
+	// Energy aggregates the Data-channel energy ledger over the app's
+	// four runs, for the "# energy" sweep summaries.
+	Energy wireless.EnergyStats
 }
 
 // fprintSched renders the aggregated scheduler counters of a sweep as a
@@ -339,6 +348,18 @@ func fprintSched(o Options, what string, s sim.SchedStats) {
 			s.HorizonAdvances, s.CrossShardMsgs, s.BarrierStalls)
 	}
 	fmt.Fprintln(o.out())
+}
+
+// fprintEnergy renders the aggregated Data-channel energy ledger of a sweep
+// as a self-describing comment line. It prints under Options.Verbose or
+// whenever a lossy channel is selected; on the default quiet ideal-channel
+// runs it prints nothing, keeping the harness output byte-identical to the
+// pre-channel tool.
+func fprintEnergy(o Options, what string, e wireless.EnergyStats) {
+	if !o.Verbose && o.Channel.Profile == channel.Ideal {
+		return
+	}
+	fmt.Fprintf(o.out(), "# energy %s: %s\n", what, e)
 }
 
 // appKinds is the per-application run order of Fig10 and Fig11: the
@@ -375,10 +396,12 @@ func Fig10(o Options) []AppRow {
 		row := AppRow{Name: p.Name, Speedup: map[config.Kind]float64{config.Baseline: 1}}
 		baseline := results[pi*len(appKinds)]
 		row.Sched.Add(baseline.Sched)
+		row.Energy.Add(baseline.Energy)
 		for ki, k := range appKinds[1:] {
 			r := results[pi*len(appKinds)+1+ki]
 			row.Speedup[k] = float64(baseline.Cycles) / float64(r.Cycles)
 			row.Sched.Add(r.Sched)
+			row.Energy.Add(r.Energy)
 			switch k {
 			case config.WiSyncNoT:
 				row.UtilWNoT = r.DataUtilPct
@@ -397,6 +420,7 @@ func Fig10(o Options) []AppRow {
 	tb.AddRow("geoMean", f2(stats.GeoMean(bp)), f2(stats.GeoMean(wnt)), f2(stats.GeoMean(w)))
 	fmt.Fprintln(o.out(), tb)
 	fprintSched(o, "fig10", sumSched(rows))
+	fprintEnergy(o, "fig10", sumEnergy(rows))
 	return rows
 }
 
@@ -407,6 +431,15 @@ func sumSched(rows []AppRow) sim.SchedStats {
 		s.Add(r.Sched)
 	}
 	return s
+}
+
+// sumEnergy aggregates the energy ledger across app rows.
+func sumEnergy(rows []AppRow) wireless.EnergyStats {
+	var e wireless.EnergyStats
+	for _, r := range rows {
+		e.Add(r.Energy)
+	}
+	return e
 }
 
 // Table5 reproduces Table 5: Data-channel utilization of WiSyncNoT and
@@ -439,6 +472,7 @@ func Table5(o Options, rows []AppRow) {
 	tb.AddRow("GM(all)", f2(stats.GeoMean(wt)), f2(stats.GeoMean(w)))
 	fmt.Fprintln(o.out(), tb)
 	fprintSched(o, "table5", sumSched(rows))
+	fprintEnergy(o, "table5", sumEnergy(rows))
 }
 
 // Fig11Row is one sensitivity point: geomean speedup over Baseline under a
@@ -491,10 +525,13 @@ func Fig11(o Options) []Fig11Row {
 	}
 	fmt.Fprintln(o.out(), tb)
 	var sched sim.SchedStats
+	var energy wireless.EnergyStats
 	for _, r := range results {
 		sched.Add(r.Sched)
+		energy.Add(r.Energy)
 	}
 	fprintSched(o, "fig11", sched)
+	fprintEnergy(o, "fig11", energy)
 	return rows
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"wisync/internal/apps"
+	"wisync/internal/channel"
 	"wisync/internal/config"
 	"wisync/internal/kernels"
 	"wisync/internal/sim"
@@ -43,6 +44,16 @@ type PointSpec struct {
 	// they are excluded from Digest.
 	Exec   kernels.Exec `json:"exec,omitempty"`
 	Shards int          `json:"shards,omitempty"`
+
+	// Channel selects the channel-error profile (default ideal: the
+	// paper's error-free medium, under which rows match the golden
+	// matrices byte for byte). BER and Retries configure the lossy
+	// profiles; both are zeroed under ideal and defaulted otherwise
+	// (1e-4, channel.DefaultMaxRetries), so equivalent specs digest
+	// identically.
+	Channel channel.Profile `json:"channel,omitempty"`
+	BER     float64         `json:"ber,omitempty"`
+	Retries int             `json:"retries,omitempty"`
 
 	// Workload parameters; zero means the workload's default.
 	Iters    int    `json:"iters,omitempty"`    // tightloop iterations; app iteration override
@@ -117,6 +128,16 @@ func (s PointSpec) Normalize() (PointSpec, error) {
 	default:
 		return s, fmt.Errorf("harness: unknown workload %q", s.Workload)
 	}
+	if s.Channel == channel.Ideal {
+		s.BER, s.Retries = 0, 0
+	} else {
+		if s.BER == 0 {
+			s.BER = 1e-4
+		}
+		if s.Retries == 0 {
+			s.Retries = channel.DefaultMaxRetries
+		}
+	}
 	return s, nil
 }
 
@@ -167,7 +188,8 @@ func (s PointSpec) Validate() error {
 // Config builds the point's machine configuration.
 func (s PointSpec) Config() config.Config {
 	return config.New(s.Kind, s.Cores).WithVariant(s.Variant).WithSeed(s.Seed).
-		WithMAC(s.MAC).WithShards(s.Shards)
+		WithMAC(s.MAC).WithShards(s.Shards).
+		WithChannel(channel.Params{Profile: s.Channel, BER: s.BER, MaxRetries: s.Retries})
 }
 
 // ID names the point in golden-matrix format: workload/kind/coresc/sseed.
@@ -235,43 +257,62 @@ func (s PointSpec) Run() (row string, err error) {
 	}
 	cfg := n.Config()
 	id := n.ID()
+	var energy wireless.EnergyStats
 	switch {
 	case n.Workload == "tightloop":
 		r := kernels.TightLoopExec(cfg, n.Iters, n.Exec)
-		return goldenLine(id, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration()))), nil
+		row, energy = goldenLine(id, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration()))), r.Energy
 	case n.Workload == "livermore2":
 		r, x := kernels.Livermore2Exec(cfg, n.N, n.Passes, n.Exec)
-		return goldenLine(id, r, fmt.Sprintf("xsum=%s", gf(vecSum(x)))), nil
+		row, energy = goldenLine(id, r, fmt.Sprintf("xsum=%s", gf(vecSum(x)))), r.Energy
 	case n.Workload == "livermore3":
 		r, dot := kernels.Livermore3Exec(cfg, n.N, n.Passes, n.Exec)
-		return goldenLine(id, r, fmt.Sprintf("dot=%s", gf(dot))), nil
+		row, energy = goldenLine(id, r, fmt.Sprintf("dot=%s", gf(dot))), r.Energy
 	case n.Workload == "livermore6":
 		r, w := kernels.Livermore6Exec(cfg, n.N, n.Exec)
-		return goldenLine(id, r, fmt.Sprintf("wsum=%s", gf(vecSum(w)))), nil
+		row, energy = goldenLine(id, r, fmt.Sprintf("wsum=%s", gf(vecSum(w)))), r.Energy
 	case strings.HasPrefix(n.Workload, "cas-"):
 		r := kernels.CASKernelExec(cfg, casKinds[n.Workload], n.CS, sim.Time(n.Duration), n.Exec)
-		return id + "\t" + strings.Join([]string{
+		row, energy = id+"\t"+strings.Join([]string{
 			fmt.Sprintf("ok=%d", r.Successes),
 			fmt.Sprintf("failed=%d", r.Failures),
 			fmt.Sprintf("per1000=%s", gf(r.Per1000)),
 			fmt.Sprintf("mem=%+v", r.Mem),
 			fmt.Sprintf("net=%+v", r.Net),
-		}, "\t"), nil
+		}, "\t"), r.Energy
 	case strings.HasPrefix(n.Workload, "app:"):
 		p, _ := apps.ByName(strings.TrimPrefix(n.Workload, "app:"))
 		if n.Iters > 0 {
 			p.Iterations = n.Iters
 		}
 		r := apps.RunExec(cfg, p, n.Exec)
-		return id + "\t" + strings.Join([]string{
+		row, energy = id+"\t"+strings.Join([]string{
 			fmt.Sprintf("cycles=%d", r.Cycles),
 			fmt.Sprintf("datautil=%s", gf(r.DataUtilPct)),
 			fmt.Sprintf("spills=%d", r.Spills),
 			fmt.Sprintf("mem=%+v", r.Mem),
 			fmt.Sprintf("net=%+v", r.Net),
-		}, "\t"), nil
+		}, "\t"), r.Energy
+	default:
+		return "", fmt.Errorf("harness: unknown workload %q", n.Workload)
 	}
-	return "", fmt.Errorf("harness: unknown workload %q", n.Workload)
+	// Lossy channels append the energy/reliability columns; the ideal
+	// default appends nothing, keeping every row byte-identical to the
+	// golden matrices.
+	if n.Channel != channel.Ideal {
+		row += "\t" + energyCols(energy)
+	}
+	return row, nil
+}
+
+// energyCols renders the lossy-channel row suffix: total transceiver
+// energy, retransmissions, and exhausted-budget delivery failures.
+func energyCols(e wireless.EnergyStats) string {
+	return strings.Join([]string{
+		fmt.Sprintf("energy=%spJ", gf(e.TotalPJ())),
+		fmt.Sprintf("retx=%d", e.Retransmissions),
+		fmt.Sprintf("drops=%d", e.DeliveryFailures),
+	}, "\t")
 }
 
 // PointOutcome is one point's result in a batch run.

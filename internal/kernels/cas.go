@@ -48,11 +48,12 @@ type CASResult struct {
 	Failures  uint64
 	// Per1000 is the Figure 9 metric: successful CASes per 1000 cycles.
 	Per1000 float64
-	// Mem, Net and MAC expose the machine's protocol counters (see
-	// Result).
-	Mem mem.Stats
-	Net wireless.Stats
-	MAC wireless.MACStats
+	// Mem, Net, MAC and Energy expose the machine's protocol counters
+	// (see Result).
+	Mem    mem.Stats
+	Net    wireless.Stats
+	MAC    wireless.MACStats
+	Energy wireless.EnergyStats
 }
 
 func (r CASResult) String() string {
@@ -166,6 +167,7 @@ func CASKernelExec(cfg config.Config, kind CASKind, csInstr int, duration sim.Ti
 	if m.Net != nil {
 		r.Net = m.Net.Stats
 		r.MAC = m.Net.MACCounters()
+		r.Energy = m.Net.Energy
 	}
 	return r
 }

@@ -35,6 +35,7 @@ func result(m *core.Machine, iters int) Result {
 	if m.Net != nil {
 		r.Net = m.Net.Stats
 		r.MAC = m.Net.MACCounters()
+		r.Energy = m.Net.Energy
 	}
 	return r
 }
@@ -58,6 +59,10 @@ type Result struct {
 	// Net so the golden rendering of wireless.Stats is independent of the
 	// MAC catalog.
 	MAC wireless.MACStats
+	// Energy is the Data channel's transceiver energy ledger and
+	// channel-error delivery counters (zero on wired configurations;
+	// reliability counters zero under the default ideal channel).
+	Energy wireless.EnergyStats
 }
 
 // CyclesPerIteration returns the average iteration time.

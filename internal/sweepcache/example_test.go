@@ -1,0 +1,30 @@
+package sweepcache_test
+
+import (
+	"fmt"
+
+	"wisync/internal/sweepcache"
+)
+
+// ExampleCache_Do memoizes a deterministic computation by content address:
+// the first call computes, the repeat is served from the store, and both
+// return the same row. In the sweep service the key is
+// (harness.PointSpec.Digest, seed) and the compute function is
+// PointSpec.Run.
+func ExampleCache_Do() {
+	cache := sweepcache.New(16)
+	key := sweepcache.Key{Digest: "b0a7…", Seed: 1}
+	computes := 0
+	compute := func() (string, error) {
+		computes++
+		return "tightloop/WiSync/64c/s1\tcycles=...", nil
+	}
+
+	row, cached, _ := cache.Do(key, compute)
+	fmt.Println(cached, computes, row)
+	row, cached, _ = cache.Do(key, compute)
+	fmt.Println(cached, computes, row)
+	// Output:
+	// false 1 tightloop/WiSync/64c/s1	cycles=...
+	// true 1 tightloop/WiSync/64c/s1	cycles=...
+}

@@ -154,9 +154,14 @@ func (m *backoffMAC) arbitrate(slot sim.Time) {
 		m.recycleSlot(reqs)
 		return
 	}
-	// Collision: detected cycle 2, channel free cycle 3.
+	// Collision: detected cycle 2, channel free cycle 3. Every collider
+	// drove the medium for those detection cycles; charge each the
+	// corresponding fraction of its frame energy.
 	n.Stats.Collisions++
 	m.stats.Collisions++
+	for _, r := range live {
+		n.chargeCollision(r)
+	}
 	n.busyUntil = slot + n.p.CollisionCycles
 	n.Stats.BusyCycles += n.p.CollisionCycles
 	m.scheduleRelease(n.busyUntil)

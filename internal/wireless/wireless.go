@@ -38,6 +38,7 @@ package wireless
 import (
 	"fmt"
 
+	"wisync/internal/channel"
 	"wisync/internal/sim"
 )
 
@@ -162,6 +163,10 @@ type Params struct {
 	// AdaptiveCollisionRate is the collision-rate threshold above which
 	// MACAdaptive hands the channel to the token protocol (default 0.25).
 	AdaptiveCollisionRate float64
+	// Channel configures the channel-error model underneath the MAC. The
+	// zero value (and the default) is the ideal error-free channel the
+	// paper assumes; see package channel for the lossy profiles.
+	Channel channel.Params
 }
 
 // DefaultParams returns the Table 1 channel configuration.
@@ -176,6 +181,7 @@ func DefaultParams() Params {
 		TokenHopCycles:        1,
 		AdaptiveWindow:        32,
 		AdaptiveCollisionRate: 0.25,
+		Channel:               channel.DefaultParams(),
 	}
 }
 
@@ -199,6 +205,7 @@ type request struct {
 	state     reqState
 	committed bool
 	attempts  int // collisions suffered by this message
+	retx      int // retransmissions after corrupted deliveries
 	// epoch counts the record's trips through the freelist. A Token
 	// snapshots it at issue time, so a Cancel that outlives the message —
 	// the record may already carry a different sender's message — is
@@ -325,8 +332,19 @@ type Network struct {
 	deliverFree []*deliverCont
 	commitFree  []*commitCont
 	reqFree     []*request
+	// ch decides per-transmission delivery outcomes; chRng feeds its draws
+	// and is forked from the engine only for non-ideal profiles, so the
+	// default channel consumes no entropy and perturbs no golden trace.
+	ch    channel.Model
+	chRng *sim.Rand
+	// energyPerNode mirrors every Energy charge onto the spending node.
+	energyPerNode []float64
 	// Stats is exported for harness reporting.
 	Stats Stats
+	// Energy is the transceiver energy ledger plus the channel-error
+	// delivery counters. Kept out of Stats so the golden rendering of
+	// Stats is unchanged by the channel model's existence.
+	Energy EnergyStats
 }
 
 // New creates a Data channel for the given node count.
@@ -349,11 +367,22 @@ func New(eng *sim.Engine, nodes int, p Params) *Network {
 	if p.AdaptiveCollisionRate == 0 {
 		p.AdaptiveCollisionRate = 0.25
 	}
+	ch, err := channel.New(nodes, p.Channel)
+	if err != nil {
+		// Channel params are validated by config.Validate before any
+		// machine is built; reaching here is a programming error.
+		panic(fmt.Sprintf("wireless: %v", err))
+	}
 	n := &Network{
-		eng:   eng,
-		p:     p,
-		nodes: nodes,
-		rng:   eng.Rand().Fork(),
+		eng:           eng,
+		p:             p,
+		nodes:         nodes,
+		rng:           eng.Rand().Fork(),
+		ch:            ch,
+		energyPerNode: make([]float64, nodes),
+	}
+	if !ch.Ideal() {
+		n.chRng = eng.Rand().Fork()
 	}
 	n.mac = newMAC(n, p.MAC)
 	return n
@@ -449,6 +478,7 @@ func (n *Network) newRequest(msg Msg) *request {
 		r.state = reqPending
 		r.committed = false
 		r.attempts = 0
+		r.retx = 0
 		return r
 	}
 	return &request{n: n, msg: msg, start: n.eng.Now()}
@@ -496,6 +526,7 @@ func (n *Network) transmit(req *request, slot sim.Time) {
 	}
 	n.busyUntil = slot + dur
 	n.Stats.BusyCycles += dur
+	n.chargeTx(req)
 	n.mac.Granted(req)
 	var c *commitCont
 	if k := len(n.commitFree); k > 0 {
@@ -526,6 +557,33 @@ func (c *commitCont) run() {
 }
 
 func (n *Network) commit(req *request) {
+	if !n.ch.Ideal() {
+		bits := MsgBits
+		if req.msg.Kind == KindBulk {
+			bits = BulkBits
+		}
+		if n.ch.Corrupts(n.chRng, req.msg.Src, bits) {
+			// At least one receiver CRC-failed the frame and NACKed: no
+			// BM applies it (the channel's total order stays consistent
+			// because it is all-or-nothing per transmission). The frame
+			// still occupied its cycles — BusyCycles and the energy
+			// ledger already charged it at transmit.
+			if req.retx < n.ch.MaxRetries() {
+				req.retx++
+				n.Energy.Retransmissions++
+				req.state = reqPending
+				n.mac.Submit(req)
+				return
+			}
+			// Budget exhausted: the send completes as a delivery failure
+			// and the sender observes committed == false.
+			n.Energy.DeliveryFailures++
+			req.state = reqDone
+			req.committed = false
+			req.resume()
+			return
+		}
+	}
 	req.state = reqDone
 	req.committed = true
 	n.Stats.Messages++
