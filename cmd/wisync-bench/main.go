@@ -25,6 +25,7 @@ import (
 
 	"wisync/internal/channel"
 	"wisync/internal/core"
+	"wisync/internal/fault"
 	"wisync/internal/harness"
 	"wisync/internal/profiling"
 	"wisync/internal/wireless"
@@ -77,6 +78,8 @@ func main() {
 	chName := flag.String("channel", "ideal", "wireless channel-error profile: "+strings.Join(channelNames(), "|"))
 	ber := flag.Float64("ber", 0, "raw bit-error rate of the worst link for lossy -channel profiles (0 = profile default)")
 	retries := flag.Int("retries", 0, "retransmission budget per message for lossy -channel profiles (0 = default)")
+	faultsFlag := flag.String("faults", "", "deterministic fault-injection plan: inline JSON or @file, applied to every wireless point (see internal/fault)")
+	pointBudget := flag.Uint64("point-budget", 0, "cycle budget per sweep point (0 = unlimited)")
 	execName := flag.String("exec", "task", "application workload execution mode: task|thread (identical simulated results)")
 	verbose := flag.Bool("v", false, "append scheduler-internals diagnostics (# sched lines: wheel hits, heap fallbacks, step-pool reuse)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -109,6 +112,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)
 		os.Exit(2)
 	}
+	plan, err := fault.ParseFlag(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)
+		os.Exit(2)
+	}
 	exec, ok := core.ParseExec(*execName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "wisync-bench: unknown exec mode %q (task or thread)\n", *execName)
@@ -119,7 +127,8 @@ func main() {
 		what = flag.Arg(0)
 	}
 	o := harness.Options{Quick: *quick, Workers: *workers, MAC: mac, Channel: chParams,
-		Exec: exec, Shards: *shards, Verbose: *verbose, Out: os.Stdout}
+		Exec: exec, Shards: *shards, Faults: plan, Budget: *pointBudget,
+		Verbose: *verbose, Out: os.Stdout}
 	for _, c := range commands {
 		if c.name != what {
 			continue
@@ -131,8 +140,8 @@ func main() {
 		if what == "macs" {
 			macDesc = "all-compared"
 		}
-		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d shards=%d mac=%s channel=%v ber=%g retries=%d exec=%v seed=1\n",
-			what, *quick, *workers, *shards, macDesc, chProfile, *ber, *retries, exec)
+		fmt.Printf("# wisync-bench cmd=%s quick=%v workers=%d shards=%d mac=%s channel=%v ber=%g retries=%d faults=%q point-budget=%d exec=%v seed=1\n",
+			what, *quick, *workers, *shards, macDesc, chProfile, *ber, *retries, *faultsFlag, *pointBudget, exec)
 		stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wisync-bench: %v\n", err)

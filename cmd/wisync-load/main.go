@@ -20,10 +20,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -56,6 +59,9 @@ type outcome struct {
 	retries    int
 	latency    time.Duration
 	err        error
+	// deadline marks a request that hit the client-side -timeout: its own
+	// outcome class, distinct from 429 backpressure and hard errors.
+	deadline bool
 }
 
 func main() {
@@ -65,7 +71,7 @@ func main() {
 	distinct := flag.Int("distinct", 8, "distinct job variants (seeds) to spread requests over")
 	jobDoc := flag.String("job", "", "job JSON template (default: a quick golden-covered kernel job); its seeds are overridden per variant")
 	maxRetries := flag.Int("max-retries", 100, "max 429 retries per request before giving up")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout; requests that hit it are reported as deadline outcomes, not errors")
 	flag.Parse()
 
 	if *distinct < 1 {
@@ -136,6 +142,7 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 		resp, err := client.Post(addr+"/sweep", "application/json", bytes.NewReader(body))
 		if err != nil {
 			o.err = err
+			o.deadline = isTimeout(err)
 			return o
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
@@ -185,6 +192,7 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 		resp.Body.Close()
 		if err != nil {
 			o.err = err
+			o.deadline = isTimeout(err)
 			return o
 		}
 		if !done {
@@ -197,13 +205,27 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 	}
 }
 
+// isTimeout reports whether err is the client-side -timeout firing (on
+// connect, headers, or mid-stream) rather than a hard failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func report(outcomes []outcome, elapsed time.Duration, distinct int) {
-	var ok, failed, retries, rows, cachedRows, errorRows int
+	var ok, failed, deadlines, retries, rows, cachedRows, errorRows int
 	var latencies []time.Duration
 	fps := make(map[int][sha256.Size]byte, distinct)
 	mismatched := 0
 	for _, o := range outcomes {
 		retries += o.retries
+		if o.deadline {
+			deadlines++
+			continue
+		}
 		if o.err != nil {
 			failed++
 			continue
@@ -227,8 +249,8 @@ func report(outcomes []outcome, elapsed time.Duration, distinct int) {
 		i := int(p * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	fmt.Printf("requests=%d ok=%d failed=%d retries429=%d elapsed=%v rps=%.1f\n",
-		len(outcomes), ok, failed, retries, elapsed.Round(time.Millisecond),
+	fmt.Printf("requests=%d ok=%d failed=%d deadline=%d retries429=%d elapsed=%v rps=%.1f\n",
+		len(outcomes), ok, failed, deadlines, retries, elapsed.Round(time.Millisecond),
 		float64(ok)/elapsed.Seconds())
 	fmt.Printf("rows=%d cached=%d (%.1f%%) errorRows=%d variants=%d mismatched=%d\n",
 		rows, cachedRows, 100*float64(cachedRows)/max(1, float64(rows)), errorRows,
@@ -239,6 +261,12 @@ func report(outcomes []outcome, elapsed time.Duration, distinct int) {
 	if failed > 0 || mismatched > 0 || errorRows > 0 {
 		fmt.Println("FAIL: requests failed, responses diverged, or error rows were returned")
 		os.Exit(1)
+	}
+	if deadlines > 0 {
+		// The caller's own -timeout cut these off: a distinct outcome, not
+		// a service failure.
+		fmt.Printf("OK: %d completed byte-identical; %d hit the -timeout deadline\n", ok, deadlines)
+		return
 	}
 	fmt.Println("OK: all requests completed; repeated jobs byte-identical")
 }

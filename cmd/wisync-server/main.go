@@ -51,6 +51,7 @@ func main() {
 	queue := flag.Int("queue", 4096, "max admitted-but-unfinished points before 429")
 	cacheEntries := flag.Int("cache-entries", 65536, "memoization cache capacity (points)")
 	maxJobPoints := flag.Int("max-job-points", 4096, "max points one job may expand to")
+	grace := flag.Duration("grace", 10*time.Second, "drain period for in-flight jobs on SIGINT/SIGTERM")
 	flag.Parse()
 
 	s := newServer(serverOptions{
@@ -68,7 +69,12 @@ func main() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 		<-stop
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: stop admitting (new sweeps see 503 +
+		// Retry-After, /healthz flips to draining), then give in-flight
+		// jobs up to the grace period to finish streaming.
+		log.Printf("wisync-server draining (grace %s)", *grace)
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}()

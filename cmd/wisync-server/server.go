@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -10,6 +12,8 @@ import (
 
 	"wisync/internal/channel"
 	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/fault"
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
 	"wisync/internal/sweepcache"
@@ -36,10 +40,25 @@ type job struct {
 	Duration uint64           `json:"duration,omitempty"`
 	// Channel/BER/Retries select the channel-error model; the omitted
 	// default is the ideal channel, under which every row is byte-identical
-	// to the golden matrix.
+	// to the golden matrix. BERGood/PGB/PBG configure the burst
+	// (Gilbert–Elliott) profile.
 	Channel channel.Profile `json:"channel,omitempty"`
 	BER     float64         `json:"ber,omitempty"`
 	Retries int             `json:"retries,omitempty"`
+	BERGood float64         `json:"ber_good,omitempty"`
+	PGB     float64         `json:"pgb,omitempty"`
+	PBG     float64         `json:"pbg,omitempty"`
+	// Faults is a deterministic fault-injection plan applied to every
+	// point; Budget/Watchdog are the per-point cycle guards (see
+	// harness.PointSpec).
+	Faults   *fault.Plan `json:"faults,omitempty"`
+	Budget   uint64      `json:"budget,omitempty"`
+	Watchdog uint64      `json:"watchdog,omitempty"`
+	// DeadlineMS is the end-to-end wall-clock deadline for the whole job
+	// in milliseconds (0: none). When it expires, in-flight points of
+	// this job abort into error rows and queued ones abort as workers
+	// reach them; the worker pool is never wedged.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // expand crosses the job's lists into normalized, validated point specs
@@ -66,6 +85,8 @@ func (j job) expand() ([]harness.PointSpec, []sweepcache.Key, error) {
 					Variant: j.Variant, MAC: j.MAC, Exec: j.Exec, Shards: j.Shards,
 					Iters: j.Iters, N: j.N, Passes: j.Passes, CS: j.CS, Duration: j.Duration,
 					Channel: j.Channel, BER: j.BER, Retries: j.Retries,
+					BERGood: j.BERGood, PGB: j.PGB, PBG: j.PBG,
+					Faults: j.Faults, Budget: j.Budget, Watchdog: j.Watchdog,
 				}
 				n, err := spec.Normalize()
 				if err != nil {
@@ -110,10 +131,13 @@ type taskResult struct {
 }
 
 // task is one enqueued sweep point; res is buffered so a worker's delivery
-// never blocks on a slow or departed client.
+// never blocks on a slow or departed client. ctx carries the job's
+// deadline and the client's cancellation into the worker pool: an expired
+// or disconnected job's points abort instead of occupying workers.
 type task struct {
 	spec harness.PointSpec
 	key  sweepcache.Key
+	ctx  context.Context
 	res  chan taskResult
 }
 
@@ -162,6 +186,12 @@ type server struct {
 	points   atomic.Uint64
 	errRows  atomic.Uint64
 	rejected atomic.Uint64
+	// deadlines counts points aborted by a job deadline or client
+	// disconnect (error rows whose chain contains core.ErrAborted).
+	deadlines atomic.Uint64
+	// draining is set by StartDrain: new sweeps get 503 + Retry-After and
+	// /healthz reports unhealthy while in-flight jobs finish.
+	draining atomic.Bool
 	start    time.Time
 	mux      *http.ServeMux
 }
@@ -178,6 +208,11 @@ func newServer(o serverOptions) *server {
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	for i := 0; i < o.Workers; i++ {
@@ -192,16 +227,27 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // serving binary just exits).
 func (s *server) Close() { close(s.queue) }
 
-// worker drains the queue through the cache. PointSpec.Run recovers its
-// own panics and the cache recovers compute panics, so a poisoned point
-// reaches the client as an error row and the worker lives on.
+// StartDrain flips the server into graceful-shutdown mode: /sweep answers
+// 503 + Retry-After, /healthz reports draining, and already-admitted jobs
+// keep streaming until done (the caller bounds that with its grace
+// period).
+func (s *server) StartDrain() { s.draining.Store(true) }
+
+// worker drains the queue through the cache. PointSpec.RunCtx recovers
+// its own panics and the cache recovers compute panics, so a poisoned
+// point reaches the client as an error row and the worker lives on; an
+// expired deadline aborts the point the same way, freeing the worker.
 func (s *server) worker() {
 	for t := range s.queue {
-		row, cached, err := s.cache.Do(t.key, t.spec.Run)
+		spec, ctx := t.spec, t.ctx
+		row, cached, err := s.cache.Do(t.key, func() (string, error) { return spec.RunCtx(ctx) })
 		s.pending.Add(-1)
 		s.points.Add(1)
 		if err != nil {
 			s.errRows.Add(1)
+			if errors.Is(err, core.ErrAborted) {
+				s.deadlines.Add(1)
+			}
 		}
 		t.res <- taskResult{row: row, cached: cached, err: err}
 	}
@@ -236,11 +282,20 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a sweep job to /sweep")
 		return
 	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	var j job
 	if err := dec.Decode(&j); err != nil {
 		httpError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	if j.DeadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, "bad job: deadline_ms must be >= 0")
 		return
 	}
 	specs, keys, err := j.expand()
@@ -262,11 +317,22 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs.Add(1)
 
+	// The job context carries both the client's disconnect (r.Context) and
+	// the optional wall-clock deadline into every point: when either fires,
+	// queued and in-flight points abort into error rows instead of tying up
+	// workers.
+	ctx := r.Context()
+	if j.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
 	// Admitted: enqueue everything (reserve guarantees capacity, so these
 	// sends never block), then stream rows in point order.
 	tasks := make([]*task, len(specs))
 	for i := range specs {
-		tasks[i] = &task{spec: specs[i], key: keys[i], res: make(chan taskResult, 1)}
+		tasks[i] = &task{spec: specs[i], key: keys[i], ctx: ctx, res: make(chan taskResult, 1)}
 		s.queue <- tasks[i]
 	}
 
@@ -306,6 +372,8 @@ type statsResponse struct {
 	Points        uint64           `json:"points"`
 	ErrorRows     uint64           `json:"error_rows"`
 	Rejected429   uint64           `json:"rejected_429"`
+	Deadlines     uint64           `json:"deadlines"`
+	Draining      bool             `json:"draining"`
 	Cache         sweepcache.Stats `json:"cache"`
 }
 
@@ -320,6 +388,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Points:        s.points.Load(),
 		ErrorRows:     s.errRows.Load(),
 		Rejected429:   s.rejected.Load(),
+		Deadlines:     s.deadlines.Load(),
+		Draining:      s.draining.Load(),
 		Cache:         s.cache.Stats(),
 	})
 }

@@ -359,3 +359,136 @@ func TestServerChannelJobs(t *testing.T) {
 		t.Fatalf("out-of-range BER: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServerJobDeadline pins the deadline contract: a job whose wall-clock
+// deadline expires converts its unfinished points into structured abort
+// error rows (counted in /stats as deadlines), the done marker still
+// arrives, the worker is freed, and the server stays fully healthy — the
+// aborted point was never cached, so a later run recomputes it.
+func TestServerJobDeadline(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{Workers: 1})
+	// A point heavy enough that a 1ms deadline always expires first.
+	body := `{"workload":"tightloop","kinds":["WiSync"],"cores":[64],"iters":100000,"deadline_ms":1}`
+	rows, done, status := postJob(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("deadline job: status %d", status)
+	}
+	if done.Errors != 1 || len(rows) != 1 {
+		t.Fatalf("deadline job: done=%+v rows=%d", done, len(rows))
+	}
+	if !strings.Contains(rows[0].Error, "aborted") {
+		t.Fatalf("deadline row is not a structured abort: %q", rows[0].Error)
+	}
+	if got := s.deadlines.Load(); got != 1 {
+		t.Fatalf("deadlines counter %d, want 1", got)
+	}
+
+	// /stats reports the deadline abort.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	resp.Body.Close()
+	if st.Deadlines != 1 || st.ErrorRows != 1 {
+		t.Fatalf("/stats after deadline: %+v", st)
+	}
+
+	// The worker is free and the server healthy: a small undeadlined job
+	// completes normally.
+	if _, done, status := postJob(t, ts.URL, `{"workload":"tightloop","kinds":["WiSync"],"cores":[16]}`); status != http.StatusOK || done.Errors != 0 {
+		t.Fatalf("server unhealthy after deadline abort: status=%d done=%+v", status, done)
+	}
+	// Negative deadlines are rejected up front.
+	resp, err = http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"workload":"tightloop","deadline_ms":-5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline_ms: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerDrainUnderLoad pins graceful shutdown: with a job mid-stream,
+// StartDrain refuses new sweeps with 503 + Retry-After and flips /healthz,
+// while the in-flight job keeps streaming to its done marker.
+func TestServerDrainUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{Workers: 1})
+	// Two points through one worker: after the first row arrives the job
+	// is mid-flight by construction.
+	body := `{"workload":"tightloop","kinds":["Baseline","WiSync"],"cores":[16],"seeds":[1]}`
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before first row: %v", sc.Err())
+	}
+	var first rowMsg
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("bad first row %q: %v", sc.Text(), err)
+	}
+	if first.Error != "" || first.Done {
+		t.Fatalf("unexpected first message: %+v", first)
+	}
+
+	s.StartDrain()
+
+	// New sweeps are refused with 503 + Retry-After...
+	r2, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"workload":"tightloop","kinds":["WiSync"],"cores":[16]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep while draining: status %d, want 503", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// ...and /healthz reports draining...
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while draining: status %d, want 503", hz.StatusCode)
+	}
+
+	// ...but the in-flight job drains to completion, error-free.
+	var rows int
+	var done rowMsg
+	for sc.Scan() {
+		var m rowMsg
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if m.Error != "" {
+			t.Fatalf("error row while draining: %s: %s", m.ID, m.Error)
+		}
+		if m.Done {
+			done = m
+			break
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if !done.Done || done.Points != 2 || done.Errors != 0 {
+		t.Fatalf("in-flight job did not drain cleanly: rows=%d done=%+v", rows+1, done)
+	}
+}

@@ -33,10 +33,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"wisync/internal/apps"
 	"wisync/internal/channel"
 	"wisync/internal/config"
+	"wisync/internal/fault"
 	"wisync/internal/harness"
 	"wisync/internal/kernels"
 	"wisync/internal/profiling"
@@ -79,6 +81,8 @@ func main() {
 	chName := flag.String("channel", "ideal", "wireless channel-error profile: "+channelNames())
 	ber := flag.Float64("ber", 0, "raw bit-error rate of the worst link for lossy -channel profiles (0 = profile default)")
 	retries := flag.Int("retries", 0, "retransmission budget per message for lossy -channel profiles (0 = default)")
+	faultsFlag := flag.String("faults", "", "deterministic fault-injection plan: inline JSON or @file (see internal/fault)")
+	pointBudget := flag.Uint64("point-budget", 0, "cycle budget per point (0 = unlimited); a run still live at the budget fails with a structured error")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list available workloads, configs, variants and MACs, then exit")
@@ -105,6 +109,10 @@ func main() {
 		fatalf("unknown channel profile %q (one of: %s)", *chName, channelNames())
 	}
 	chParams := channel.Params{Profile: chProfile, BER: *ber, MaxRetries: *retries}
+	plan, err := fault.ParseFlag(*faultsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	coreList, err := parseCores(*cores)
 	if err != nil {
 		fatalf("%v", err)
@@ -130,15 +138,15 @@ func main() {
 	// shard count is a usage error here, never a panic inside a worker.
 	for _, c := range coreList {
 		cfg := config.New(kind, c).WithVariant(v).WithSeed(*seed).WithMAC(mac).
-			WithShards(*shards).WithChannel(chParams)
+			WithShards(*shards).WithChannel(chParams).WithFaults(plan).WithBudget(sim.Time(*pointBudget))
 		if err := cfg.Validate(); err != nil {
 			fatalf("%v", err)
 		}
 	}
 
 	// Self-describing output: echo the effective configuration first.
-	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d shards=%d mac=%v channel=%v ber=%g retries=%d workload=%s\n",
-		kind, *cores, v, *seed, *workers, *shards, mac, chProfile, *ber, *retries, *workload)
+	fmt.Printf("# wisync-sim config=%v cores=%s variant=%v seed=%d workers=%d shards=%d mac=%v channel=%v ber=%g retries=%d faults=%q point-budget=%d workload=%s\n",
+		kind, *cores, v, *seed, *workers, *shards, mac, chProfile, *ber, *retries, *faultsFlag, *pointBudget, *workload)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatalf("%v", err)
@@ -146,14 +154,20 @@ func main() {
 	// Each sweep point renders into its own buffer; buffers are printed in
 	// list order so the output does not depend on the worker count.
 	outputs := make([]strings.Builder, len(coreList))
+	var pointFailed atomic.Bool
 	harness.ForEach(*workers, len(coreList), func(i int) {
 		cfg := config.New(kind, coreList[i]).WithVariant(v).WithSeed(*seed).WithMAC(mac).
-			WithShards(*shards).WithChannel(chParams)
-		runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration)
+			WithShards(*shards).WithChannel(chParams).WithFaults(plan).WithBudget(sim.Time(*pointBudget))
+		if !runOne(&outputs[i], cfg, *workload, appProfile, *n, *iters, *cs, *duration) {
+			pointFailed.Store(true)
+		}
 	})
 	stopProfiles()
 	for i := range outputs {
 		fmt.Print(outputs[i].String())
+	}
+	if pointFailed.Load() {
+		os.Exit(1)
 	}
 }
 
@@ -180,7 +194,17 @@ func printList() {
 	fmt.Printf("channels: %s\n", strings.ReplaceAll(channelNames(), "|", " "))
 }
 
-func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile apps.Profile, n, iters, cs int, duration uint64) {
+func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile apps.Profile, n, iters, cs int, duration uint64) (ok bool) {
+	// Budget trips and other guarded-run failures panic out of the kernel
+	// runners; surface them as a structured per-point error line instead of
+	// crashing the whole sweep (the process still exits nonzero).
+	ok = true
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			fmt.Fprintf(out, "error: %v\n", r)
+		}
+	}()
 	// printEnergy appends the transceiver energy ledger after a lossy-
 	// channel run; ideal-channel output is unchanged.
 	printEnergy := func(e wireless.EnergyStats) {
@@ -217,6 +241,7 @@ func runOne(out *strings.Builder, cfg config.Config, workload string, appProfile
 		fmt.Fprintln(out, r)
 		printEnergy(r.Energy)
 	}
+	return ok
 }
 
 func knownWorkload(s string) bool {

@@ -78,6 +78,9 @@ type Result struct {
 	// execution modes legitimately differ here, and the equivalence suite
 	// excludes it.
 	Sched sim.SchedStats
+	// Faults lists the workload threads halted by a fail-stopped
+	// transceiver (nil without a fault plan); see kernels.Result.
+	Faults []core.Fault
 }
 
 func (r Result) String() string {
@@ -170,7 +173,10 @@ func RunExec(cfg config.Config, p Profile, exec core.Exec) Result {
 		})
 	}
 	if err := m.Run(); err != nil {
-		panic(fmt.Sprintf("apps: %s on %s: %v", p.Name, cfg.Kind, err))
+		// Wrap rather than format: the harness recover preserves the error
+		// chain so callers can classify the failure (budget, livelock,
+		// abort, deadlock) with errors.Is/As.
+		panic(fmt.Errorf("apps: %s on %s: %w", p.Name, cfg.Kind, err))
 	}
 	r := Result{
 		Profile:     p,
@@ -186,6 +192,7 @@ func RunExec(cfg config.Config, p Profile, exec core.Exec) Result {
 		r.MAC = m.Net.MACCounters()
 		r.Energy = m.Net.Energy
 	}
+	r.Faults = m.Faults()
 	return r
 }
 

@@ -68,11 +68,11 @@ type storeCont struct {
 	fn   func(bool) // cached method value of run
 }
 
-func (c *storeCont) run(bool) {
+func (c *storeCont) run(committed bool) {
 	b, node, then := c.b, c.node, c.then
 	c.then = nil
 	b.storeFree = append(b.storeFree, c)
-	b.wcb[node] = true
+	b.wcb[node] = committed
 	then()
 }
 
@@ -159,6 +159,10 @@ type rmwGrantCont struct {
 	f    func(uint64) (uint64, bool)
 	then func(old uint64, ok bool)
 	msg  wireless.Msg
+	// ran/denied mirror rmwAtGrant's completion tracking: the operation
+	// completed iff it was applied at a commit or denied at a probe.
+	ran    bool
+	denied bool
 
 	submitFn func()
 	doneFn   func(bool)
@@ -166,17 +170,24 @@ type rmwGrantCont struct {
 
 func (c *rmwGrantCont) op(cur uint64) (uint64, bool) {
 	c.old = cur
-	return c.f(cur)
+	nv, do := c.f(cur)
+	if c.b.probing {
+		c.denied = !do
+	} else {
+		c.ran = true
+	}
+	return nv, do
 }
 
 func (c *rmwGrantCont) submit() { c.b.net.SendAsync(c.msg, nil, c.doneFn) }
 
 func (c *rmwGrantCont) done(bool) {
 	b, node, old, then := c.b, c.node, c.old, c.then
+	ok := c.ran || c.denied
 	c.f, c.then = nil, nil
 	b.rmwFree = append(b.rmwFree, c)
-	b.wcb[node] = true
-	then(old, true)
+	b.wcb[node] = ok
+	then(old, ok)
 }
 
 // rmwAtGrantAsync mirrors rmwAtGrant: the pipeline read delay and the
@@ -198,6 +209,7 @@ func (b *BM) rmwAtGrantAsync(node int, pid uint16, addr uint32, f func(uint64) (
 		b.eng.StepPoolMiss()
 	}
 	c.node, c.f, c.then = node, f, then
+	c.ran, c.denied = false, false
 	c.msg.Src, c.msg.Addr, c.msg.Kind, c.msg.PID = node, addr, wireless.KindRMW, pid
 	// The instruction still reads the local BM into the pipeline (RT),
 	// then contends for the channel.

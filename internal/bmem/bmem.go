@@ -130,6 +130,14 @@ type BM struct {
 	spinFree  []*bmSpin
 	storeFree []*storeCont
 	rmwFree   []*rmwGrantCont
+	// probing is set while the prepare hook evaluates an RMW Op against
+	// the current replica value at grant time. The Op wrappers use it to
+	// tell a probe (the write may still be denied by a failed compare —
+	// a completed instruction) from the commit application (the write
+	// happened), so an RMW whose broadcast never applied — delivery
+	// failure, fault-injected outage — reports ok == false instead of a
+	// stale success.
+	probing bool
 	// Stats is exported for harness reporting.
 	Stats Stats
 }
@@ -190,7 +198,9 @@ func New(eng *sim.Engine, net *wireless.Network, nodes int, p Params) *BM {
 		if m.Kind != wireless.KindRMW || m.Op == nil {
 			return true
 		}
+		b.probing = true
 		_, do := m.Op(b.entries[m.Addr].val)
+		b.probing = false
 		return do
 	})
 	return b

@@ -17,15 +17,19 @@ func (b *BM) Load(p *sim.Proc, node int, pid uint16, addr uint32) (uint64, error
 
 // Store broadcasts val to addr in every replica. It blocks until the write
 // commits (all replicas updated), at which point WCB is set. The MAC
-// retries through collisions; Store cannot fail, only take longer.
+// retries through collisions; on the ideal channel without faults a store
+// cannot fail, only take longer. Under a lossy channel or a fault plan
+// the broadcast can fail permanently (retry budget exhausted, transceiver
+// outage): WCB then honestly reads false — software that needs the write
+// checks WCB and reissues.
 func (b *BM) Store(p *sim.Proc, node int, pid uint16, addr uint32, val uint64) error {
 	if err := b.check(node, pid, addr); err != nil {
 		return err
 	}
 	b.Stats.Stores++
 	b.wcb[node] = false
-	b.net.Send(p, wireless.Msg{Src: node, Addr: addr, Val: val, Kind: wireless.KindStore, PID: pid}, nil)
-	b.wcb[node] = true
+	committed := b.net.Send(p, wireless.Msg{Src: node, Addr: addr, Val: val, Kind: wireless.KindStore, PID: pid}, nil)
+	b.wcb[node] = committed
 	return nil
 }
 
@@ -58,8 +62,8 @@ func (b *BM) BulkStore(p *sim.Proc, node int, pid uint16, addr uint32, vals [4]u
 	b.wcb[node] = false
 	m := wireless.Msg{Src: node, Addr: addr, Val: vals[0], Kind: wireless.KindBulk, PID: pid}
 	copy(m.BulkVals[:], vals[1:])
-	b.net.Send(p, m, nil)
-	b.wcb[node] = true
+	committed := b.net.Send(p, m, nil)
+	b.wcb[node] = committed
 	return nil
 }
 
@@ -125,16 +129,31 @@ func (b *BM) rmwAtGrant(p *sim.Proc, node int, pid uint16, addr uint32, f func(u
 	b.wcb[node] = false
 	b.afb[node] = false
 	var old uint64
+	var ran, denied bool
 	op := func(cur uint64) (uint64, bool) {
 		old = cur
-		return f(cur)
+		nv, do := f(cur)
+		if b.probing {
+			// Grant-time probe: a denied write (failed compare) is a
+			// completed instruction — the decision is atomic on the
+			// committed value the probe observed.
+			denied = !do
+		} else {
+			ran = true // commit application: the write happened chip-wide
+		}
+		return nv, do
 	}
 	// The instruction still reads the local BM into the pipeline (RT),
 	// then contends for the channel.
 	b.scheduleSend(b.p.RT, p, wireless.Msg{Src: node, Addr: addr, Kind: wireless.KindRMW, PID: pid, Op: op})
 	p.Park("bm rmw")
-	b.wcb[node] = true
-	return old, true, nil
+	// The operation completed iff it was applied at a commit or denied at
+	// a probe. Neither happened when the broadcast failed permanently —
+	// retry budget exhausted or a fault-injected outage — and old would be
+	// stale; software must retry, exactly like an AFB failure.
+	ok := ran || denied
+	b.wcb[node] = ok
+	return old, ok, nil
 }
 
 // WaitChange parks until a commit (or tone toggle) touches addr. The caller

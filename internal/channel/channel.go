@@ -56,10 +56,18 @@ const (
 	// nearly clean link, the corner-to-corner link sees the full
 	// configured BER (the position-dependence of Timoneda et al.).
 	Distance
+	// Burst is a Gilbert-Elliott two-state channel: the whole medium
+	// alternates between a good state at Params.BERGood and a bad state
+	// at Params.BER, with per-transmission transition probabilities
+	// Params.PGB (good -> bad) and Params.PBG (bad -> good). Errors
+	// therefore arrive in bursts whose mean length is 1/PBG
+	// transmissions — the time-varying channel conditions of Timoneda et
+	// al., as opposed to the stationary Uniform/Distance profiles.
+	Burst
 )
 
 // Profiles lists the selectable profiles in presentation order.
-var Profiles = []Profile{Ideal, Uniform, Distance}
+var Profiles = []Profile{Ideal, Uniform, Distance, Burst}
 
 func (p Profile) String() string {
 	switch p {
@@ -69,6 +77,8 @@ func (p Profile) String() string {
 		return "uniform"
 	case Distance:
 		return "distance"
+	case Burst:
+		return "burst"
 	}
 	return fmt.Sprintf("Profile(%d)", int(p))
 }
@@ -84,7 +94,7 @@ func ParseProfile(s string) (Profile, bool) {
 }
 
 // Valid reports whether p names a selectable profile.
-func (p Profile) Valid() bool { return p <= Distance }
+func (p Profile) Valid() bool { return p <= Burst }
 
 // MarshalJSON renders the profile as its flag name; unknown values are an
 // error so a corrupt profile cannot produce a plausible canonical form.
@@ -131,7 +141,22 @@ type Params struct {
 	// after corrupted deliveries before the send completes as a delivery
 	// failure. Zero means DefaultMaxRetries for non-ideal profiles.
 	MaxRetries int
+	// BERGood is the Burst profile's good-state bit-error rate (the bad
+	// state uses BER). Ignored by every other profile.
+	BERGood float64 `json:",omitempty"`
+	// PGB and PBG are the Burst profile's per-transmission transition
+	// probabilities, good -> bad and bad -> good. Zero values resolve to
+	// DefaultPGB and DefaultPBG.
+	PGB float64 `json:",omitempty"`
+	PBG float64 `json:",omitempty"`
 }
+
+// Default Burst transition probabilities: bursts begin rarely (one
+// transmission in fifty) and last twenty transmissions on average.
+const (
+	DefaultPGB = 0.02
+	DefaultPBG = 0.05
+)
 
 // DefaultParams returns the ideal channel.
 func DefaultParams() Params { return Params{Profile: Ideal} }
@@ -146,6 +171,15 @@ func (p Params) Validate() error {
 	}
 	if p.MaxRetries < 0 || p.MaxRetries > MaxRetriesCap {
 		return fmt.Errorf("channel: %d retries outside [0,%d]", p.MaxRetries, MaxRetriesCap)
+	}
+	if p.BERGood < 0 || p.BERGood >= 1 {
+		return fmt.Errorf("channel: good-state BER %g outside [0,1)", p.BERGood)
+	}
+	if p.PGB < 0 || p.PGB > 1 || p.PBG < 0 || p.PBG > 1 {
+		return fmt.Errorf("channel: transition probabilities (%g, %g) outside [0,1]", p.PGB, p.PBG)
+	}
+	if p.Profile == Burst && p.BERGood > p.BER {
+		return fmt.Errorf("channel: good-state BER %g exceeds bad-state BER %g", p.BERGood, p.BER)
 	}
 	return nil
 }
@@ -182,9 +216,28 @@ func New(nodes int, p Params) (Model, error) {
 	if retries == 0 {
 		retries = DefaultMaxRetries
 	}
+	if p.Profile == Burst {
+		g := &gilbertElliott{nodes: nodes, retries: retries,
+			berGood: p.BERGood, berBad: p.BER, pGB: p.PGB, pBG: p.PBG}
+		if g.pGB == 0 {
+			g.pGB = DefaultPGB
+		}
+		if g.pBG == 0 {
+			g.pBG = DefaultPBG
+		}
+		g.survGood = survival(g.berGood, nodes)
+		g.survBad = survival(g.berBad, nodes)
+		return g, nil
+	}
 	m := &matrix{profile: p.Profile, nodes: nodes, retries: retries}
 	m.build(p.BER)
 	return m, nil
+}
+
+// survival returns the per-bit broadcast survival probability under one
+// uniform BER: every one of the nodes-1 receivers must see the bit clean.
+func survival(ber float64, nodes int) float64 {
+	return math.Pow(1-ber, float64(nodes-1))
 }
 
 // ideal is the error-free channel.
@@ -254,4 +307,48 @@ func (m *matrix) LinkBER(src, dst int) float64 {
 func (m *matrix) Corrupts(rng *sim.Rand, src, bits int) bool {
 	p := math.Pow(m.survival[src], float64(bits))
 	return rng.Float64() >= p
+}
+
+// gilbertElliott is the Burst profile: one medium-wide two-state Markov
+// chain stepped once per transmission. The state evolves in the
+// Network's commit-event order — the same order every other channel draw
+// uses — so the burst schedule is deterministic across worker and shard
+// counts. Every Corrupts call makes exactly two draws (transition, then
+// outcome) regardless of state, so the rng stream consumed is a pure
+// function of the transmission count.
+type gilbertElliott struct {
+	nodes, retries    int
+	berGood, berBad   float64
+	pGB, pBG          float64
+	survGood, survBad float64
+	bad               bool
+}
+
+func (g *gilbertElliott) Profile() Profile { return Burst }
+func (g *gilbertElliott) Ideal() bool      { return false }
+func (g *gilbertElliott) MaxRetries() int  { return g.retries }
+
+// LinkBER reports the bad-state (worst-case) BER: the Burst channel is
+// uniform across links, varying in time instead of space.
+func (g *gilbertElliott) LinkBER(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return g.berBad
+}
+
+func (g *gilbertElliott) Corrupts(rng *sim.Rand, src, bits int) bool {
+	flip := rng.Float64()
+	if g.bad {
+		if flip < g.pBG {
+			g.bad = false
+		}
+	} else if flip < g.pGB {
+		g.bad = true
+	}
+	surv := g.survGood
+	if g.bad {
+		surv = g.survBad
+	}
+	return rng.Float64() >= math.Pow(surv, float64(bits))
 }

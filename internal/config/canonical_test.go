@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"wisync/internal/channel"
+	"wisync/internal/fault"
 	"wisync/internal/wireless"
 )
 
@@ -148,6 +149,9 @@ func TestDigestFieldFlips(t *testing.T) {
 		if path == ".Seed" || path == ".Shards" {
 			continue // digest-excluded by design, pinned above
 		}
+		if path == ".Abort" {
+			continue // host-side control (json:"-"), digest-excluded by design
+		}
 		c := base
 		flipOne(t, fieldAt(&c, path), path)
 		if mustDigest(t, c) == baseDigest {
@@ -177,6 +181,10 @@ func flipOne(t *testing.T, v reflect.Value, path string) {
 		v.SetFloat(v.Float() + 0.5)
 	case reflect.Bool:
 		v.SetBool(!v.Bool())
+	case reflect.Ptr:
+		// Optional sub-configs (the fault plan): nil -> a non-nil zero
+		// value, which serializes as an explicit empty object.
+		v.Set(reflect.New(v.Type().Elem()))
 	default:
 		t.Fatalf("field %s: unflippable kind %v — extend the test", path, v.Kind())
 	}
@@ -229,6 +237,23 @@ func TestValidateCentralized(t *testing.T) {
 			c := good
 			c.Wireless.Channel.MaxRetries = channel.MaxRetriesCap + 1
 			return c
+		}(),
+		func() Config { // burst channel with good state dirtier than bad
+			c := good
+			c.Wireless.Channel = channel.Params{Profile: channel.Burst, BER: 1e-5, BERGood: 1e-3}
+			return c
+		}(),
+		func() Config { // fault plan naming a node the machine doesn't have
+			c := good
+			return c.WithFaults(&fault.Plan{Outages: []fault.Outage{{Node: 64, At: 100}}})
+		}(),
+		func() Config { // fault plan killing every transceiver
+			c := New(WiSync, 2)
+			return c.WithFaults(&fault.Plan{Outages: []fault.Outage{{Node: 0, At: 0}, {Node: 1, At: 0}}})
+		}(),
+		func() Config { // fault plan on a wired machine
+			c := New(Baseline, 64)
+			return c.WithFaults(&fault.Plan{Outages: []fault.Outage{{Node: 3, At: 100}}})
 		}(),
 	}
 	for i, c := range bad {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"wisync/internal/channel"
+	"wisync/internal/fault"
 	"wisync/internal/sim"
 	"wisync/internal/tone"
 	"wisync/internal/wireless"
@@ -115,7 +116,30 @@ type Config struct {
 	BMEntries int
 	Wireless  wireless.Params
 	Tone      tone.Params
+
+	// Budget, when nonzero, bounds a run's simulated cycles: the
+	// machine's guarded run loop aborts with a structured core.BudgetError
+	// once the clock reaches it. Result-relevant (a budgeted point may
+	// yield an error row an unbounded run would not), so it participates
+	// in the digest; the zero default serializes to nothing, keeping
+	// every pre-budget digest unchanged.
+	Budget sim.Time `json:",omitempty"`
+	// Watchdog, when nonzero, is the progress-watchdog window in cycles:
+	// when no workload operation completes for a full window the run
+	// aborts with a structured core.LivelockError carrying the parked
+	// cores' last-operation breadcrumbs. Digested like Budget.
+	Watchdog sim.Time `json:",omitempty"`
+	// Abort, when non-nil, is polled by the guarded run loop between run
+	// chunks; a true return aborts the run with core.ErrAborted. It
+	// threads server job deadlines and client cancellation into a point.
+	// Host-side control only — it never alters simulated behavior before
+	// the abort — so it is excluded from serialization and the digest.
+	Abort *AbortCheck `json:"-"`
 }
+
+// AbortCheck wraps an abort-polling function behind a pointer so Config
+// stays ==-comparable (func fields are not comparable; pointers are).
+type AbortCheck struct{ F func() bool }
 
 // New returns the default (Table 1) configuration of the given kind and
 // core count. The paper evaluates 16-256 cores with a default of 64.
@@ -182,6 +206,33 @@ func (c Config) WithChannel(p channel.Params) Config {
 	return c
 }
 
+// WithFaults returns the configuration with a deterministic fault-
+// injection plan (nil, or an empty plan: no faults). The plan is
+// normalized in place so equal schedules serialize — and digest —
+// identically.
+func (c Config) WithFaults(p *fault.Plan) Config {
+	p.Normalize()
+	if p.Empty() {
+		p = nil
+	}
+	c.Wireless.Faults = p
+	return c
+}
+
+// WithBudget returns the configuration with a simulated-cycle budget
+// (0 = unbounded).
+func (c Config) WithBudget(b sim.Time) Config {
+	c.Budget = b
+	return c
+}
+
+// WithWatchdog returns the configuration with a progress-watchdog window
+// (0 = disabled).
+func (c Config) WithWatchdog(w sim.Time) Config {
+	c.Watchdog = w
+	return c
+}
+
 // Validate reports configuration errors. It is the single authority on
 // what a runnable machine configuration looks like: the cmds and the sweep
 // service all reject jobs through it, so a malformed job is a usage error
@@ -219,6 +270,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.Wireless.Channel.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
+	}
+	if err := c.Wireless.Faults.Validate(c.Cores); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if c.Wireless.Faults != nil && !c.Kind.HasBM() {
+		return fmt.Errorf("config: fault plan on wired configuration %v (no transceivers to fail)", c.Kind)
 	}
 	if c.Kind.HasTone() && c.Tone.TableSize < 1 {
 		return fmt.Errorf("config: tone table size %d invalid", c.Tone.TableSize)

@@ -38,6 +38,9 @@ type Machine struct {
 
 	addrCursor uint64
 	threads    []*Thread
+	// faults collects the per-core fault records of threads halted by a
+	// fail-stopped transceiver (fault.go).
+	faults []Fault
 }
 
 // NewMachine builds a machine for cfg. It panics on invalid configurations
@@ -123,6 +126,17 @@ func (m *Machine) Spawn(name string, core int, pid uint16, body func(*Thread)) *
 	t := &Thread{M: m, Core: core, PID: pid}
 	t.proc = m.Eng.Go(name, func(p *sim.Proc) {
 		t.proc = p
+		// A fail-stop guard unwinds the thread with the threadHalt
+		// sentinel; recovering it here retires the process cleanly (the
+		// fault record was already appended). Any other panic — a
+		// protection fault, a workload bug — propagates to the engine.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, halt := r.(threadHalt); !halt {
+					panic(r)
+				}
+			}
+		}()
 		body(t)
 	})
 	m.threads = append(m.threads, t)
@@ -138,12 +152,25 @@ func (m *Machine) SpawnAll(body func(*Thread)) {
 	}
 }
 
-// Run executes the simulation to completion.
-func (m *Machine) Run() error { return m.Eng.Run() }
+// Run executes the simulation to completion. When the configuration sets
+// a cycle budget, a progress watchdog, or an abort hook, the guarded loop
+// (fault.go) runs instead: same event order, but hangs become structured
+// BudgetError/LivelockError/ErrAborted results.
+func (m *Machine) Run() error {
+	if m.guarded() {
+		return m.runGuarded()
+	}
+	return m.Eng.Run()
+}
 
 // RunUntil executes the simulation up to cycle t and kills remaining
-// threads (used by open-ended throughput kernels).
+// threads (used by open-ended throughput kernels). Like Run, it switches
+// to the guarded loop when the configuration asks for budget, watchdog,
+// or abort enforcement.
 func (m *Machine) RunUntil(t sim.Time) error {
+	if m.guarded() {
+		return m.runGuardedUntil(t)
+	}
 	if err := m.Eng.RunUntil(t); err != nil {
 		return err
 	}

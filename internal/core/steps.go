@@ -69,7 +69,7 @@ func (t *Task) rmwStep() *rmwOp {
 // closure form it replaces.
 func (op *rmwOp) start(addr uint64) {
 	t := op.t
-	t.st.SetReason("mem rmw")
+	t.st.SetReasonArg("mem rmw", addr)
 	op.addr = addr
 	if t.pending > 0 {
 		d := t.pending
@@ -270,8 +270,14 @@ func (t *Task) bmStep() *bmRetryOp {
 // discipline with the closures replaced by cached method values.
 func (op *bmRetryOp) attempt() {
 	t := op.t
-	t.st.SetReason("bm rmw")
+	t.st.SetReasonArg("bm rmw", uint64(op.addr))
 	t.bm()
+	// A fail-stopped transceiver turns this retry loop into a livelock
+	// (every attempt fails); halt with a fault record instead, mirroring
+	// Thread.txGuard's position at the top of the blocking retry loops.
+	if t.txGuard("bm rmw") {
+		return
+	}
 	if t.pending > 0 {
 		d := t.pending
 		t.pending = 0

@@ -109,7 +109,7 @@ func (t *Task) Sync(then func()) { t.flush(then) }
 // ~1.8x slower with the helper. The three copies must stay in lockstep;
 // the thread/task equivalence suite pins the contract.
 func (t *Task) Read(addr uint64, then func(uint64)) {
-	t.st.SetReason("mem read")
+	t.st.SetReasonArg("mem read", addr)
 	if t.pending > 0 {
 		op := t.hwStep()
 		op.kind, op.addr64, op.thenU = hwMemRead, addr, then
@@ -134,7 +134,7 @@ func (t *Task) Write(addr uint64, val uint64, then func()) {
 // RMW performs an atomic read-modify-write on cached memory; then receives
 // the old value. Like Read, it inlines flush's discipline for speed.
 func (t *Task) RMW(addr uint64, f func(uint64) (uint64, bool), then func(uint64)) {
-	t.st.SetReason("mem rmw")
+	t.st.SetReasonArg("mem rmw", addr)
 	if t.pending > 0 {
 		d := t.pending
 		t.pending = 0
@@ -172,7 +172,7 @@ func (t *Task) Swap(addr, val uint64, then func(uint64)) {
 // local spinning, re-fetch on invalidation); then receives the satisfying
 // value.
 func (t *Task) SpinUntil(addr uint64, cond func(uint64) bool, then func(uint64)) {
-	t.st.SetReason("spin")
+	t.st.SetReasonArg("spin", addr)
 	op := t.hwStep()
 	op.kind, op.addr64, op.cond, op.thenU = hwMemSpin, addr, cond, then
 	op.start()
@@ -193,9 +193,23 @@ func (t *Task) must(err error) {
 	}
 }
 
+// txGuard mirrors Thread.txGuard for continuation form: when the task's
+// transceiver has fail-stopped it records a fault, retires the task, and
+// reports true — the caller must return without issuing the operation.
+// Both faces check at the same execution points, so fault records are
+// bit-identical across execution modes.
+func (t *Task) txGuard(op string) bool {
+	if t.M.Net != nil && t.M.Net.NodeFailStopped(t.Core) {
+		t.M.recordFault(t.Core, t.PID, op)
+		t.st.Finish()
+		return true
+	}
+	return false
+}
+
 // BMLoad is a plain load from the local BM.
 func (t *Task) BMLoad(addr uint32, then func(uint64)) {
-	t.st.SetReason("bm load")
+	t.st.SetReasonArg("bm load", uint64(addr))
 	t.bm()
 	op := t.hwStep()
 	op.kind, op.addr, op.thenU = hwBMLoad, addr, then
@@ -205,8 +219,11 @@ func (t *Task) BMLoad(addr uint32, then func(uint64)) {
 // BMStore broadcasts val to addr in every BM; then runs when the write
 // commits (WCB set).
 func (t *Task) BMStore(addr uint32, val uint64, then func()) {
-	t.st.SetReason("bm store")
+	t.st.SetReasonArg("bm store", uint64(addr))
 	t.bm()
+	if t.txGuard("bm store") {
+		return
+	}
 	op := t.hwStep()
 	op.kind, op.addr, op.val, op.then0 = hwBMStore, addr, val, then
 	op.start()
@@ -215,7 +232,7 @@ func (t *Task) BMStore(addr uint32, val uint64, then func()) {
 // BMRMW1 is a single hardware RMW attempt (no retry): then receives the
 // value read and ok=false if atomicity failed (AFB set, nothing written).
 func (t *Task) BMRMW1(addr uint32, f func(uint64) (uint64, bool), then func(old uint64, ok bool)) {
-	t.st.SetReason("bm rmw")
+	t.st.SetReasonArg("bm rmw", uint64(addr))
 	t.bm()
 	t.flush(func() { t.must(t.M.BM.RMWAsync(t.Core, t.PID, addr, f, then)) })
 }
@@ -251,7 +268,7 @@ func (t *Task) BMCAS(addr uint32, old, nv uint64, then func(bool)) {
 // BMSpinUntil spins on the local BM replica until cond holds; then
 // receives the satisfying value.
 func (t *Task) BMSpinUntil(addr uint32, cond func(uint64) bool, then func(uint64)) {
-	t.st.SetReason("bm spin")
+	t.st.SetReasonArg("bm spin", uint64(addr))
 	t.bm()
 	op := t.hwStep()
 	op.kind, op.addr, op.cond, op.thenU = hwBMSpin, addr, cond, then
@@ -266,10 +283,16 @@ func (t *Task) toneHW() {
 	}
 }
 
-// ToneStore is tone_st: announce arrival at the tone barrier at addr.
+// ToneStore is tone_st: announce arrival at the tone barrier at addr. A
+// fail-stopped transceiver cannot drive the Tone channel either: the task
+// halts with a fault record, and the barrier it would have joined parks
+// the survivors in a diagnosable deadlock.
 func (t *Task) ToneStore(addr uint32, then func()) {
-	t.st.SetReason("tone store")
+	t.st.SetReasonArg("tone store", uint64(addr))
 	t.toneHW()
+	if t.txGuard("tone store") {
+		return
+	}
 	op := t.hwStep()
 	op.kind, op.addr, op.then0 = hwToneStore, addr, then
 	op.start()
@@ -277,8 +300,11 @@ func (t *Task) ToneStore(addr uint32, then func()) {
 
 // ToneWait spins with tone_ld until the barrier variable equals want.
 func (t *Task) ToneWait(addr uint32, want uint64, then func()) {
-	t.st.SetReason("tone wait")
+	t.st.SetReasonArg("tone wait", uint64(addr))
 	t.toneHW()
+	if t.txGuard("tone wait") {
+		return
+	}
 	op := t.hwStep()
 	op.kind, op.addr, op.val, op.then0 = hwToneWait, addr, want, then
 	op.start()

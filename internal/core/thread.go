@@ -121,6 +121,19 @@ func (t *Thread) must(err error) {
 	}
 }
 
+// txGuard halts the thread when its transceiver has fail-stopped: the
+// operation named op can never complete (every broadcast from this node
+// fails), so instead of spinning forever the thread records a fault and
+// unwinds with the threadHalt sentinel, which Spawn's wrapper retires
+// cleanly. The check reads only injector state at the current cycle, so
+// thread and task mode halt at identical (time, sequence) positions.
+func (t *Thread) txGuard(op string) {
+	if t.M.Net != nil && t.M.Net.NodeFailStopped(t.Core) {
+		t.M.recordFault(t.Core, t.PID, op)
+		panic(threadHalt{})
+	}
+}
+
 // BMLoad is a plain load from the local BM. Faults (PID mismatch,
 // unallocated address) terminate the simulated program; use TryBMLoad for
 // OS-style fault handling.
@@ -138,8 +151,10 @@ func (t *Thread) TryBMLoad(addr uint32) (uint64, error) {
 }
 
 // BMStore broadcasts val to addr in every BM, blocking until the write
-// commits (WCB set).
+// commits (WCB set). On a fail-stopped transceiver the thread halts with a
+// fault record instead of issuing a send that cannot commit.
 func (t *Thread) BMStore(addr uint32, val uint64) {
+	t.txGuard("bm store")
 	t.must(t.TryBMStore(addr, val))
 }
 
@@ -161,6 +176,7 @@ func (t *Thread) BMBulkLoad(addr uint32) [4]uint64 {
 
 // BMBulkStore broadcasts four words in one 15-cycle message (Bulk store).
 func (t *Thread) BMBulkStore(addr uint32, vals [4]uint64) {
+	t.txGuard("bm bulk store")
 	t.bm()
 	t.flush()
 	t.must(t.M.BM.BulkStore(t.proc, t.Core, t.PID, addr, vals))
@@ -181,6 +197,9 @@ func (t *Thread) BMRMW1(addr uint32, f func(uint64) (uint64, bool)) (uint64, boo
 // value before the add.
 func (t *Thread) BMFetchAdd(addr uint32, delta uint64) uint64 {
 	for {
+		// A fail-stopped transceiver turns this retry loop into a livelock
+		// (every attempt fails); halt with a fault record instead.
+		t.txGuard("bm rmw")
 		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) { return cur + delta, true })
 		if ok {
 			return old
@@ -200,6 +219,7 @@ func (t *Thread) BMFetchInc(addr uint32) uint64 { return t.BMFetchAdd(addr, 1) }
 // returns the value before the add.
 func (t *Thread) BMFetchAddF64(addr uint32, delta float64) float64 {
 	for {
+		t.txGuard("bm rmw")
 		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
 			return math.Float64bits(math.Float64frombits(cur) + delta), true
 		})
@@ -214,6 +234,7 @@ func (t *Thread) BMFetchAddF64(addr uint32, delta float64) float64 {
 // atomicity failure.
 func (t *Thread) BMTestAndSet(addr uint32) uint64 {
 	for {
+		t.txGuard("bm rmw")
 		old, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
 			if cur != 0 {
 				return cur, false // already set; read is enough
@@ -232,6 +253,7 @@ func (t *Thread) BMTestAndSet(addr uint32) uint64 {
 // CAS failure. It reports whether the swap was performed.
 func (t *Thread) BMCAS(addr uint32, old, nv uint64) bool {
 	for {
+		t.txGuard("bm rmw")
 		cur, ok := t.BMRMW1(addr, func(cur uint64) (uint64, bool) {
 			return nv, cur == old
 		})
@@ -261,9 +283,13 @@ func (t *Thread) toneHW() {
 	}
 }
 
-// ToneStore is tone_st: announce arrival at the tone barrier at addr.
+// ToneStore is tone_st: announce arrival at the tone barrier at addr. A
+// fail-stopped transceiver cannot drive the Tone channel either: the
+// thread halts with a fault record, and the barrier it would have joined
+// parks the survivors in a diagnosable deadlock.
 func (t *Thread) ToneStore(addr uint32) {
 	t.toneHW()
+	t.txGuard("tone store")
 	t.flush()
 	t.must(t.M.Tone.ToneStore(t.proc, t.Core, t.PID, addr))
 }
@@ -280,6 +306,7 @@ func (t *Thread) ToneLoad(addr uint32) uint64 {
 // ToneWait spins with tone_ld until the barrier variable equals want.
 func (t *Thread) ToneWait(addr uint32, want uint64) {
 	t.toneHW()
+	t.txGuard("tone wait")
 	t.flush()
 	_, err := t.M.Tone.WaitToggle(t.proc, t.Core, t.PID, addr, want)
 	t.must(err)

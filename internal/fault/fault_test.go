@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseInlineAndNormalize(t *testing.T) {
+	p, err := Parse([]byte(`{"outages":[{"node":3,"at":500},{"node":1,"at":100,"for":50}],"token_loss":[900,200]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{
+		Outages:   []Outage{{Node: 1, At: 100, For: 50}, {Node: 3, At: 500}},
+		TokenLoss: []uint64{200, 900},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("got %+v want %+v", p, want)
+	}
+	if p.Empty() {
+		t.Fatal("non-empty plan reports Empty")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"outage":[{"node":0,"at":1}]}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestParseFlagFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"outages":[{"node":2,"at":10}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseFlag("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Outages) != 1 || p.Outages[0].Node != 2 {
+		t.Fatalf("got %+v", p)
+	}
+	if p2, err := ParseFlag(""); err != nil || p2 != nil {
+		t.Fatalf("empty flag: got %v, %v", p2, err)
+	}
+	if _, err := ParseFlag("@/nonexistent/plan.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Plan{Outages: []Outage{{Node: 7, At: 0}}}
+	if err := p.Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := p.Validate(4); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	all := &Plan{Outages: []Outage{{Node: 0, At: 0}, {Node: 1, At: 5}}}
+	if err := all.Validate(2); err == nil {
+		t.Fatal("all-nodes fail-stop accepted")
+	}
+	if err := (*Plan)(nil).Validate(2); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+}
+
+func TestInjectorDown(t *testing.T) {
+	inj := NewInjector(&Plan{Outages: []Outage{
+		{Node: 1, At: 100, For: 50}, // transient [100,150)
+		{Node: 2, At: 300},          // fail-stop
+	}})
+	cases := []struct {
+		node int
+		now  uint64
+		down bool
+	}{
+		{1, 99, false}, {1, 100, true}, {1, 149, true}, {1, 150, false},
+		{2, 299, false}, {2, 300, true}, {2, 1 << 40, true},
+		{0, 100, false},
+	}
+	for _, c := range cases {
+		if got := inj.Down(c.node, c.now); got != c.down {
+			t.Errorf("Down(%d,%d) = %v want %v", c.node, c.now, got, c.down)
+		}
+	}
+	if inj.FailStopped(1, 120) {
+		t.Fatal("transient outage reported as fail-stop")
+	}
+	if !inj.FailStopped(2, 300) || inj.FailStopped(2, 299) {
+		t.Fatal("fail-stop boundary wrong")
+	}
+}
+
+func TestInjectorTokenLossConsumes(t *testing.T) {
+	inj := NewInjector(&Plan{TokenLoss: []uint64{100, 100, 500}})
+	if inj.TokenLost(99) {
+		t.Fatal("premature token loss")
+	}
+	if !inj.TokenLost(100) || !inj.TokenLost(150) {
+		t.Fatal("scheduled losses not consumed")
+	}
+	if inj.TokenLost(499) {
+		t.Fatal("third loss fired early")
+	}
+	if !inj.TokenLost(500) || inj.TokenLost(1<<30) {
+		t.Fatal("loss count wrong")
+	}
+}
+
+func TestEmptyPlanNilInjector(t *testing.T) {
+	if NewInjector(nil) != nil || NewInjector(&Plan{}) != nil {
+		t.Fatal("empty plan compiled to a live injector")
+	}
+}

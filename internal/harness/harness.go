@@ -23,6 +23,7 @@ import (
 	"wisync/internal/apps"
 	"wisync/internal/channel"
 	"wisync/internal/config"
+	"wisync/internal/fault"
 	"wisync/internal/kernels"
 	"wisync/internal/rfmodel"
 	"wisync/internal/sim"
@@ -61,6 +62,14 @@ type Options struct {
 	// Orthogonal to Workers — Workers parallelizes across points, Shards
 	// within one — and bit-identical at every value.
 	Shards int
+	// Faults applies a deterministic fault-injection plan to every sweep
+	// point (nil: fault-free, output byte-identical to the pre-fault
+	// harness). No effect on wired configurations.
+	Faults *fault.Plan
+	// Budget bounds each sweep point to this many cycles (0: unbounded);
+	// a point still live at the budget panics out of its sweep with a
+	// structured core.BudgetError instead of hanging the harness.
+	Budget uint64
 	// Verbose appends scheduler-internals diagnostics to each application
 	// sweep: a "# sched" line aggregating timing-wheel hits, heap
 	// fallbacks and recycled-step pool reuse across the sweep's engines.
@@ -72,7 +81,15 @@ type Options struct {
 // Config builds one sweep point's machine configuration with the
 // option-level overrides (MAC protocol, engine shards) applied.
 func (o Options) Config(kind config.Kind, cores int) config.Config {
-	return config.New(kind, cores).WithMAC(o.MAC).WithShards(o.Shards).WithChannel(o.Channel)
+	c := config.New(kind, cores).WithMAC(o.MAC).WithShards(o.Shards).WithChannel(o.Channel).
+		WithBudget(sim.Time(o.Budget))
+	if kind.HasBM() {
+		// A fault plan targets transceivers; wired points in the same
+		// sweep (Baseline rows, speedup denominators) run fault-free,
+		// like the other wireless-only option overrides.
+		c = c.WithFaults(o.Faults)
+	}
+	return c
 }
 
 func (o Options) out() io.Writer {

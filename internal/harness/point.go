@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -20,6 +21,8 @@ import (
 	"wisync/internal/apps"
 	"wisync/internal/channel"
 	"wisync/internal/config"
+	"wisync/internal/core"
+	"wisync/internal/fault"
 	"wisync/internal/kernels"
 	"wisync/internal/sim"
 	"wisync/internal/wireless"
@@ -50,10 +53,28 @@ type PointSpec struct {
 	// matrices byte for byte). BER and Retries configure the lossy
 	// profiles; both are zeroed under ideal and defaulted otherwise
 	// (1e-4, channel.DefaultMaxRetries), so equivalent specs digest
-	// identically.
+	// identically. BERGood/PGB/PBG configure the burst (Gilbert–Elliott)
+	// profile only: BER is the bad-state error rate, BERGood the
+	// good-state rate, PGB/PBG the per-message state-transition
+	// probabilities (defaulted to channel.DefaultPGB/DefaultPBG).
 	Channel channel.Profile `json:"channel,omitempty"`
 	BER     float64         `json:"ber,omitempty"`
 	Retries int             `json:"retries,omitempty"`
+	BERGood float64         `json:"ber_good,omitempty"`
+	PGB     float64         `json:"pgb,omitempty"`
+	PBG     float64         `json:"pbg,omitempty"`
+
+	// Faults is an optional deterministic fault-injection plan
+	// (transceiver outages, token-loss events); nil means fault-free.
+	// The plan is covered by the configuration digest.
+	Faults *fault.Plan `json:"faults,omitempty"`
+	// Budget is an end-to-end cycle ceiling: a point still live at that
+	// cycle comes back as a structured budget error row instead of
+	// running forever. Watchdog is a progress window in cycles: no
+	// workload-visible progress for that long is reported as a livelock.
+	// Zero disables either guard.
+	Budget   uint64 `json:"budget,omitempty"`
+	Watchdog uint64 `json:"watchdog,omitempty"`
 
 	// Workload parameters; zero means the workload's default.
 	Iters    int    `json:"iters,omitempty"`    // tightloop iterations; app iteration override
@@ -138,6 +159,23 @@ func (s PointSpec) Normalize() (PointSpec, error) {
 			s.Retries = channel.DefaultMaxRetries
 		}
 	}
+	if s.Channel == channel.Burst {
+		if s.PGB == 0 {
+			s.PGB = channel.DefaultPGB
+		}
+		if s.PBG == 0 {
+			s.PBG = channel.DefaultPBG
+		}
+	} else {
+		// Only the burst profile reads the Gilbert–Elliott knobs.
+		s.BERGood, s.PGB, s.PBG = 0, 0, 0
+	}
+	if s.Faults != nil {
+		s.Faults.Normalize()
+		if s.Faults.Empty() {
+			s.Faults = nil
+		}
+	}
 	return s, nil
 }
 
@@ -181,6 +219,10 @@ func (s PointSpec) Validate() error {
 		return fmt.Errorf("harness: cs %d outside [0,%d]", n.CS, maxCSInstr)
 	case n.Duration > maxDuration:
 		return fmt.Errorf("harness: duration %d beyond cap %d", n.Duration, maxDuration)
+	case n.Budget > maxDuration:
+		return fmt.Errorf("harness: budget %d beyond cap %d", n.Budget, maxDuration)
+	case n.Watchdog > maxDuration:
+		return fmt.Errorf("harness: watchdog %d beyond cap %d", n.Watchdog, maxDuration)
 	}
 	return nil
 }
@@ -189,7 +231,12 @@ func (s PointSpec) Validate() error {
 func (s PointSpec) Config() config.Config {
 	return config.New(s.Kind, s.Cores).WithVariant(s.Variant).WithSeed(s.Seed).
 		WithMAC(s.MAC).WithShards(s.Shards).
-		WithChannel(channel.Params{Profile: s.Channel, BER: s.BER, MaxRetries: s.Retries})
+		WithChannel(channel.Params{
+			Profile: s.Channel, BER: s.BER, MaxRetries: s.Retries,
+			BERGood: s.BERGood, PGB: s.PGB, PBG: s.PBG,
+		}).
+		WithFaults(s.Faults).
+		WithBudget(sim.Time(s.Budget)).WithWatchdog(sim.Time(s.Watchdog))
 }
 
 // ID names the point in golden-matrix format: workload/kind/coresc/sseed.
@@ -240,6 +287,15 @@ var pointRunHook func(PointSpec)
 // — comes back as an error; Run never panics, so one bad point in a batch
 // cannot take down the worker pool or the serving process.
 func (s PointSpec) Run() (row string, err error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation: when ctx is cancellable, the machine's
+// abort hook polls it between event chunks, so a job deadline or a client
+// disconnect converts an in-flight point into a core.ErrAborted error row
+// within one guard interval. Cancellation does not change results — a
+// point that completes before the deadline is bit-identical to Run's.
+func (s PointSpec) RunCtx(ctx context.Context) (row string, err error) {
 	n, err := s.Normalize()
 	if err != nil {
 		return "", err
@@ -249,50 +305,62 @@ func (s PointSpec) Run() (row string, err error) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("harness: point %s panicked: %v", n.ID(), r)
+			// Keep the error chain when the panic value is an error
+			// (kernels and apps panic the guarded run's structured
+			// errors), so callers can classify budget / livelock / abort
+			// rows with errors.Is and errors.As.
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("harness: point %s panicked: %w", n.ID(), e)
+			} else {
+				err = fmt.Errorf("harness: point %s panicked: %v", n.ID(), r)
+			}
 		}
 	}()
 	if pointRunHook != nil {
 		pointRunHook(n)
 	}
 	cfg := n.Config()
+	if ctx != nil && ctx.Done() != nil {
+		cfg.Abort = &config.AbortCheck{F: func() bool { return ctx.Err() != nil }}
+	}
 	id := n.ID()
 	var energy wireless.EnergyStats
+	var faults []core.Fault
 	switch {
 	case n.Workload == "tightloop":
 		r := kernels.TightLoopExec(cfg, n.Iters, n.Exec)
-		row, energy = goldenLine(id, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration()))), r.Energy
+		row, energy, faults = goldenLine(id, r, fmt.Sprintf("cyc/iter=%s", gf(r.CyclesPerIteration()))), r.Energy, r.Faults
 	case n.Workload == "livermore2":
 		r, x := kernels.Livermore2Exec(cfg, n.N, n.Passes, n.Exec)
-		row, energy = goldenLine(id, r, fmt.Sprintf("xsum=%s", gf(vecSum(x)))), r.Energy
+		row, energy, faults = goldenLine(id, r, fmt.Sprintf("xsum=%s", gf(vecSum(x)))), r.Energy, r.Faults
 	case n.Workload == "livermore3":
 		r, dot := kernels.Livermore3Exec(cfg, n.N, n.Passes, n.Exec)
-		row, energy = goldenLine(id, r, fmt.Sprintf("dot=%s", gf(dot))), r.Energy
+		row, energy, faults = goldenLine(id, r, fmt.Sprintf("dot=%s", gf(dot))), r.Energy, r.Faults
 	case n.Workload == "livermore6":
 		r, w := kernels.Livermore6Exec(cfg, n.N, n.Exec)
-		row, energy = goldenLine(id, r, fmt.Sprintf("wsum=%s", gf(vecSum(w)))), r.Energy
+		row, energy, faults = goldenLine(id, r, fmt.Sprintf("wsum=%s", gf(vecSum(w)))), r.Energy, r.Faults
 	case strings.HasPrefix(n.Workload, "cas-"):
 		r := kernels.CASKernelExec(cfg, casKinds[n.Workload], n.CS, sim.Time(n.Duration), n.Exec)
-		row, energy = id+"\t"+strings.Join([]string{
+		row, energy, faults = id+"\t"+strings.Join([]string{
 			fmt.Sprintf("ok=%d", r.Successes),
 			fmt.Sprintf("failed=%d", r.Failures),
 			fmt.Sprintf("per1000=%s", gf(r.Per1000)),
 			fmt.Sprintf("mem=%+v", r.Mem),
 			fmt.Sprintf("net=%+v", r.Net),
-		}, "\t"), r.Energy
+		}, "\t"), r.Energy, r.Faults
 	case strings.HasPrefix(n.Workload, "app:"):
 		p, _ := apps.ByName(strings.TrimPrefix(n.Workload, "app:"))
 		if n.Iters > 0 {
 			p.Iterations = n.Iters
 		}
 		r := apps.RunExec(cfg, p, n.Exec)
-		row, energy = id+"\t"+strings.Join([]string{
+		row, energy, faults = id+"\t"+strings.Join([]string{
 			fmt.Sprintf("cycles=%d", r.Cycles),
 			fmt.Sprintf("datautil=%s", gf(r.DataUtilPct)),
 			fmt.Sprintf("spills=%d", r.Spills),
 			fmt.Sprintf("mem=%+v", r.Mem),
 			fmt.Sprintf("net=%+v", r.Net),
-		}, "\t"), r.Energy
+		}, "\t"), r.Energy, r.Faults
 	default:
 		return "", fmt.Errorf("harness: unknown workload %q", n.Workload)
 	}
@@ -302,7 +370,24 @@ func (s PointSpec) Run() (row string, err error) {
 	if n.Channel != channel.Ideal {
 		row += "\t" + energyCols(energy)
 	}
+	// Fault plans append the degradation record: how many threads were
+	// retired by a fail-stopped transceiver and where each halted.
+	// Fault-free points append nothing, for the same golden reason.
+	if n.Faults != nil {
+		row += "\t" + faultCols(faults)
+	}
 	return row, nil
+}
+
+// faultCols renders the fault-plan row suffix: the per-core records of
+// threads retired by a fail-stopped transceiver (deterministic order —
+// guards fire at fixed positions in the global event order).
+func faultCols(faults []core.Fault) string {
+	parts := make([]string, len(faults))
+	for i, f := range faults {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("faults=%d [%s]", len(faults), strings.Join(parts, "; "))
 }
 
 // energyCols renders the lossy-channel row suffix: total transceiver

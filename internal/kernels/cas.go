@@ -54,6 +54,10 @@ type CASResult struct {
 	Net    wireless.Stats
 	MAC    wireless.MACStats
 	Energy wireless.EnergyStats
+	// Faults lists the workload threads halted by a fail-stopped
+	// transceiver (nil without a fault plan): the surviving cores kept
+	// the kernel running in a degraded configuration.
+	Faults []core.Fault
 }
 
 func (r CASResult) String() string {
@@ -163,6 +167,7 @@ func CASKernelExec(cfg config.Config, kind CASKind, csInstr int, duration sim.Ti
 		Failures:  failures,
 		Per1000:   1000 * float64(successes) / float64(duration),
 		Mem:       m.Mem.Stats,
+		Faults:    m.Faults(),
 	}
 	if m.Net != nil {
 		r.Net = m.Net.Stats

@@ -37,6 +37,7 @@ func result(m *core.Machine, iters int) Result {
 		r.MAC = m.Net.MACCounters()
 		r.Energy = m.Net.Energy
 	}
+	r.Faults = m.Faults()
 	return r
 }
 
@@ -63,6 +64,10 @@ type Result struct {
 	// channel-error delivery counters (zero on wired configurations;
 	// reliability counters zero under the default ideal channel).
 	Energy wireless.EnergyStats
+	// Faults lists the workload threads halted by a fail-stopped
+	// transceiver (nil without a fault plan): the kernel completed in a
+	// degraded configuration rather than livelocking.
+	Faults []core.Fault
 }
 
 // CyclesPerIteration returns the average iteration time.

@@ -305,10 +305,12 @@ func (e *Engine) scheduleProc(d Time, p *Proc) {
 type DeadlockError struct {
 	// Parked lists "name: reason" for every stuck process.
 	Parked []string
+	// Now is the simulated time at which the queue drained.
+	Now Time
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock, %d process(es) parked: %v", len(d.Parked), d.Parked)
+	return fmt.Sprintf("sim: deadlock at cycle %d, %d process(es) parked: %v", d.Now, len(d.Parked), d.Parked)
 }
 
 // Run executes events until none remain. It returns a *DeadlockError if
@@ -326,6 +328,25 @@ func (e *Engine) Run() error {
 		e.rethrow()
 	}
 	return e.checkDeadlock()
+}
+
+// RunBounded executes all events with timestamp <= t but, unlike RunUntil,
+// leaves the clock at the last executed event. Guarded runs (core's
+// budget/watchdog loop) chunk the simulation with it so that a run which
+// completes mid-chunk finishes at exactly the same cycle an unchunked Run
+// would have — event order and final time are bit-identical by
+// construction.
+func (e *Engine) RunBounded(t Time) error {
+	e.limit = t
+	for e.runEvents(nil) == tokenPassed {
+		<-e.handoff
+		if e.pv != nil {
+			e.limit = maxTime
+			e.rethrow()
+		}
+	}
+	e.limit = maxTime
+	return nil
 }
 
 // RunUntil executes all events with timestamp <= t, then advances the clock
@@ -431,19 +452,30 @@ func (e *Engine) checkDeadlock() error {
 	if len(e.procs) == 0 && len(e.tasks) == 0 {
 		return nil
 	}
+	return &DeadlockError{Parked: e.Breadcrumbs(), Now: e.now}
+}
+
+// CheckDeadlock reports a *DeadlockError if any process or task is still
+// alive, and nil otherwise. Run calls it automatically when the queue
+// drains; watchdog/budget guards call it explicitly after RunUntil to tell
+// a genuine deadlock (queue empty, threads parked) from a livelock or
+// budget overrun (events still flowing).
+func (e *Engine) CheckDeadlock() error { return e.checkDeadlock() }
+
+// Breadcrumbs returns one "name: reason" line per live process or task, in
+// sorted order — the last-operation trail used in deadlock, livelock, and
+// budget diagnostics. It must be called before Shutdown, which clears the
+// live sets.
+func (e *Engine) Breadcrumbs() []string {
 	var parked []string
 	for p := range e.procs {
 		parked = append(parked, p.name+": "+p.reason)
 	}
 	for t := range e.tasks {
-		reason := t.reason
-		if reason == "" {
-			reason = "task not finished"
-		}
-		parked = append(parked, t.name+": "+reason)
+		parked = append(parked, t.name+": "+t.reasonLine())
 	}
 	sort.Strings(parked)
-	return &DeadlockError{Parked: parked}
+	return parked
 }
 
 // Shutdown terminates every live process goroutine (running their defers)

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Task is a continuation-form simulation process: the goroutine-free
 // counterpart of Proc for workload code written in completion-callback
 // style. A Task has no goroutine and no blocking calls — it advances by
@@ -16,7 +18,12 @@ type Task struct {
 	eng    *Engine
 	name   string
 	reason string
-	done   bool
+	// reasonArg is an optional operand (a BM or memory address) attached by
+	// SetReasonArg and rendered only if diagnostics fire, so the hot path
+	// never formats a string.
+	reasonArg    uint64
+	reasonHasArg bool
+	done         bool
 }
 
 // GoTask starts fn as a new task. Like Go, the task begins running at the
@@ -65,7 +72,27 @@ func (t *Task) Done() bool { return t.done }
 // reason a Proc carries. Purely informational; a continuation-form model
 // has no parked goroutine to name its wait, so the last-issued operation
 // is the breadcrumb.
-func (t *Task) SetReason(r string) { t.reason = r }
+func (t *Task) SetReason(r string) { t.reason = r; t.reasonHasArg = false }
+
+// SetReasonArg records a diagnostic label plus an operand address. The
+// address is stored raw and only formatted if deadlock/livelock diagnostics
+// actually fire, keeping the per-operation cost to two stores.
+func (t *Task) SetReasonArg(r string, arg uint64) {
+	t.reason = r
+	t.reasonArg = arg
+	t.reasonHasArg = true
+}
+
+// reasonLine renders the task's breadcrumb for diagnostics.
+func (t *Task) reasonLine() string {
+	if t.reason == "" {
+		return "task not finished"
+	}
+	if !t.reasonHasArg {
+		return t.reason
+	}
+	return fmt.Sprintf("%s addr=0x%x", t.reason, t.reasonArg)
+}
 
 // Sleep runs then after d cycles. It is the continuation mirror of
 // Proc.Sleep; see Engine.SleepThen for the contract.

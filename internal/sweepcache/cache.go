@@ -33,8 +33,11 @@ type Stats struct {
 	// caller's in-progress computation of the same key.
 	Hits, Misses, InflightWaits uint64
 	// Evictions counts entries dropped by the LRU bound; Errors counts
-	// computations that returned an error (never cached).
-	Evictions, Errors uint64
+	// computations that returned an error (never cached); InflightErrors
+	// counts waiters that joined a computation which then failed — with
+	// fault-injected or deadline-bounded computes these inherit an error
+	// (possibly another job's abort) and should retry.
+	Evictions, Errors, InflightErrors uint64
 	// Entries and Capacity describe the store's current occupancy.
 	Entries, Capacity int
 }
@@ -90,10 +93,11 @@ func (c *Cache) Get(key Key) (string, bool) {
 // Do returns the row for key, computing it at most once across all
 // concurrent callers: a completed entry is returned immediately (cached
 // true), a second caller for a key someone is already computing waits for
-// that computation (cached true — it cost this caller nothing), and
-// otherwise compute runs on the calling goroutine and its result is
-// stored (cached false). A compute panic is converted to an error for
-// every waiter, so one poisoned point cannot wedge or crash the cache.
+// that computation (cached true — it cost this caller nothing; cached
+// false if it failed, since no result was stored), and otherwise compute
+// runs on the calling goroutine and its result is stored (cached false).
+// A compute panic is converted to an error for every waiter, so one
+// poisoned point cannot wedge or crash the cache.
 func (c *Cache) Do(key Key, compute func() (string, error)) (row string, cached bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -107,7 +111,16 @@ func (c *Cache) Do(key Key, compute func() (string, error)) (row string, cached 
 		c.stats.InflightWaits++
 		c.mu.Unlock()
 		<-cl.done
-		return cl.row, true, cl.err
+		if cl.err != nil {
+			// The joined computation failed (it may have been aborted by
+			// the other caller's deadline). Nothing was cached, so report
+			// cached false: the waiter inherited an error, not a result.
+			c.mu.Lock()
+			c.stats.InflightErrors++
+			c.mu.Unlock()
+			return cl.row, false, cl.err
+		}
+		return cl.row, true, nil
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl

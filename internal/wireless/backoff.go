@@ -128,9 +128,17 @@ func (m *backoffMAC) arbitrate(slot sim.Time) {
 	delete(m.slots, slot)
 	live := reqs[:0]
 	for _, r := range reqs {
-		if r.state == reqPending {
-			live = append(live, r)
+		if r.state != reqPending {
+			continue
 		}
+		if n.inj != nil && n.inj.FailStopped(r.msg.Src, uint64(slot)) {
+			// The sender's transceiver fail-stopped while the request was
+			// waiting for this slot: it cannot drive the medium, so it is
+			// excluded from contention and the send fails.
+			n.failPending(r)
+			continue
+		}
+		live = append(live, r)
 	}
 	if len(live) == 0 {
 		m.recycleSlot(reqs)
@@ -240,6 +248,10 @@ func (m *backoffMAC) releaseHead() {
 		m.waitq = m.waitq[1:]
 		if head.state != reqPending {
 			continue // withdrawn while queued
+		}
+		if n.inj != nil && n.inj.FailStopped(head.msg.Src, uint64(n.eng.Now())) {
+			n.failPending(head) // dead sender: excluded from contention
+			continue
 		}
 		m.enqueue(head, n.eng.Now())
 		return

@@ -51,14 +51,26 @@ type EnergyStats struct {
 	// DeliveryFailures counts transmissions that exhausted the
 	// retransmission budget; their senders observe committed == false.
 	DeliveryFailures uint64
+	// FaultedSends counts sends completed as failures by the fault
+	// injector — the sender's transceiver was inside an outage window at
+	// submit or grant time, or fail-stopped with the message still
+	// queued. Their senders observe committed == false. Always zero
+	// without a fault plan.
+	FaultedSends uint64
 }
 
 // TotalPJ is the full transceiver energy spent on the Data channel.
 func (e EnergyStats) TotalPJ() float64 { return e.TxPJ + e.RetxPJ + e.CollisionPJ }
 
 func (e EnergyStats) String() string {
-	return fmt.Sprintf("total=%.1fpJ tx=%.1fpJ retx=%.1fpJ collision=%.1fpJ retransmissions=%d failures=%d",
+	s := fmt.Sprintf("total=%.1fpJ tx=%.1fpJ retx=%.1fpJ collision=%.1fpJ retransmissions=%d failures=%d",
 		e.TotalPJ(), e.TxPJ, e.RetxPJ, e.CollisionPJ, e.Retransmissions, e.DeliveryFailures)
+	// Only faulty runs mention the injector, so every no-fault rendering is
+	// byte-identical to the pre-fault simulator.
+	if e.FaultedSends > 0 {
+		s += fmt.Sprintf(" faulted=%d", e.FaultedSends)
+	}
+	return s
 }
 
 // Add accumulates o into e (sweep-level aggregation).
@@ -68,6 +80,7 @@ func (e *EnergyStats) Add(o EnergyStats) {
 	e.CollisionPJ += o.CollisionPJ
 	e.Retransmissions += o.Retransmissions
 	e.DeliveryFailures += o.DeliveryFailures
+	e.FaultedSends += o.FaultedSends
 }
 
 // frameBits returns the frame size of msg on the medium.

@@ -105,6 +105,10 @@ type MACStats struct {
 	TokenWaitCycles uint64
 	// ModeSwitches counts adaptive backoff<->token transitions.
 	ModeSwitches uint64
+	// TokenRegens counts token regenerations after a detected loss: the
+	// ring path crossed a fail-stopped node, or a fault-plan token_loss
+	// event corrupted a handoff. Always zero without a fault plan.
+	TokenRegens uint64
 }
 
 func (s *MACStats) add(o MACStats) {
@@ -113,6 +117,7 @@ func (s *MACStats) add(o MACStats) {
 	s.TokenPasses += o.TokenPasses
 	s.TokenWaitCycles += o.TokenWaitCycles
 	s.ModeSwitches += o.ModeSwitches
+	s.TokenRegens += o.TokenRegens
 }
 
 // MAC is the channel arbitration policy: it decides when each submitted

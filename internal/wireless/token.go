@@ -22,16 +22,25 @@ type tokenMAC struct {
 	// switch drains the queues.
 	armed bool
 	epoch uint64
-	stats MACStats
+	// excluded marks fail-stopped nodes the ring has already detected and
+	// reconfigured around: their queued sends were failed, the token
+	// skips them without timing out again, and they never rejoin. Nil
+	// without a fault plan.
+	excluded []bool
+	stats    MACStats
 }
 
 func newTokenMAC(n *Network) *tokenMAC {
-	return &tokenMAC{
+	m := &tokenMAC{
 		n:       n,
 		pending: make([][]*request, n.nodes),
 		// Park the initial token so the scan starts at node 0.
 		holder: n.nodes - 1,
 	}
+	if n.inj != nil {
+		m.excluded = make([]bool, n.nodes)
+	}
+	return m
 }
 
 func (m *tokenMAC) Kind() MACKind { return MACToken }
@@ -80,6 +89,12 @@ func (m *tokenMAC) scan(epoch uint64) {
 			m.npend--
 		}
 		m.pending[src] = q
+		if n.inj != nil && n.inj.FailStopped(src, uint64(now)) {
+			if m.failNode(src, step) {
+				return // token lost crossing the dead node; regenerating
+			}
+			continue // already excluded: the ring skips it
+		}
 		if len(q) == 0 {
 			continue
 		}
@@ -93,10 +108,80 @@ func (m *tokenMAC) scan(epoch uint64) {
 	}
 }
 
+// failNode handles the token path crossing fail-stopped node src: every
+// queued send from the dead transceiver completes as a fault-injected
+// failure, and — the first time only — the token is lost at the dead node
+// and must be regenerated. It returns true when a regeneration was
+// started (the caller's scan is over); false once the ring has been
+// reconfigured to skip src.
+func (m *tokenMAC) failNode(src, step int) bool {
+	q := m.pending[src]
+	for len(q) > 0 {
+		if q[0].state == reqPending {
+			m.n.failPending(q[0])
+		}
+		q = q[1:]
+		m.npend--
+	}
+	m.pending[src] = q
+	if m.excluded[src] {
+		return false
+	}
+	// The token cannot traverse a dead transceiver: it is lost here, the
+	// ring detects the silence after the bounded timeout, reconfigures
+	// around src, and regenerates the token at the dead node's position
+	// (so the recovery scan resumes from its successor — no live node is
+	// skipped, because every node between the old holder and src had an
+	// empty queue).
+	m.excluded[src] = true
+	m.stats.TokenPasses += uint64(step)
+	m.holder = src
+	m.regenerate()
+	return true
+}
+
+// regenerate schedules a token regeneration after the bounded
+// TokenTimeout: all nodes observe the channel silent for the longest
+// legitimate token silence, unanimously declare the token lost, and the
+// scan restarts from the last holder's successor. armed stays set so no
+// second grant path can start inside the window; the epoch guard kills
+// the regeneration if an adaptive switch drains this MAC first.
+func (m *tokenMAC) regenerate() {
+	m.stats.TokenRegens++
+	m.armed = true
+	e := m.epoch
+	m.n.eng.ScheduleAt(m.n.eng.Now()+m.n.p.TokenTimeout, sim.PrioLate, func() {
+		if e != m.epoch {
+			return
+		}
+		m.armed = false
+		m.arm()
+	})
+}
+
 // deliver runs when the token arrives at src: the head request transmits.
 func (m *tokenMAC) deliver(src int, epoch uint64) {
 	if epoch != m.epoch {
 		return
+	}
+	n := m.n
+	if n.inj != nil {
+		if n.inj.TokenLost(uint64(n.eng.Now())) {
+			// A scheduled token_loss event corrupted this handoff: the
+			// token never arrives. The holder is unchanged — after the
+			// timeout the scan repeats from the same position.
+			m.regenerate()
+			return
+		}
+		if n.inj.FailStopped(src, uint64(n.eng.Now())) {
+			// src died while the token was in flight: the handoff lands on
+			// a dead transceiver and the token is lost there.
+			if !m.failNode(src, 0) {
+				m.armed = false
+				m.arm() // already excluded somehow; keep the ring turning
+			}
+			return
+		}
 	}
 	m.armed = false
 	q := m.pending[src]

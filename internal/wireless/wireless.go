@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"wisync/internal/channel"
+	"wisync/internal/fault"
 	"wisync/internal/sim"
 )
 
@@ -167,6 +168,20 @@ type Params struct {
 	// zero value (and the default) is the ideal error-free channel the
 	// paper assumes; see package channel for the lossy profiles.
 	Channel channel.Params
+	// TokenTimeout is the bounded token-loss detection window for
+	// MACToken and the token mode of MACAdaptive: when the token is lost
+	// (the ring path crosses a fail-stopped node, or a scheduled
+	// token_loss event corrupts a handoff), every node observes the
+	// channel silent for this many cycles, agrees the token died, and the
+	// ring regenerates it. Zero means auto: nodes*TokenHopCycles +
+	// MsgCycles, the longest legitimate token silence (a full rotation
+	// plus one message time).
+	TokenTimeout sim.Time `json:",omitempty"`
+	// Faults is the deterministic fault-injection plan (nil, the default:
+	// no faults). It rides the config into canonicalization, so two sweep
+	// points with different plans digest — and therefore memoize —
+	// separately. See package fault.
+	Faults *fault.Plan `json:",omitempty"`
 }
 
 // DefaultParams returns the Table 1 channel configuration.
@@ -339,6 +354,11 @@ type Network struct {
 	chRng *sim.Rand
 	// energyPerNode mirrors every Energy charge onto the spending node.
 	energyPerNode []float64
+	// inj answers fault-plan queries at the submit and grant commit
+	// points. It is nil without a plan, so the default no-fault path
+	// evaluates no predicates, schedules no events and forks no rng —
+	// every golden trace is untouched.
+	inj *fault.Injector
 	// Stats is exported for harness reporting.
 	Stats Stats
 	// Energy is the transceiver energy ledger plus the channel-error
@@ -367,6 +387,9 @@ func New(eng *sim.Engine, nodes int, p Params) *Network {
 	if p.AdaptiveCollisionRate == 0 {
 		p.AdaptiveCollisionRate = 0.25
 	}
+	if p.TokenTimeout == 0 {
+		p.TokenTimeout = sim.Time(nodes)*p.TokenHopCycles + p.MsgCycles
+	}
 	ch, err := channel.New(nodes, p.Channel)
 	if err != nil {
 		// Channel params are validated by config.Validate before any
@@ -384,8 +407,17 @@ func New(eng *sim.Engine, nodes int, p Params) *Network {
 	if !ch.Ideal() {
 		n.chRng = eng.Rand().Fork()
 	}
+	n.inj = fault.NewInjector(p.Faults)
 	n.mac = newMAC(n, p.MAC)
 	return n
+}
+
+// NodeFailStopped reports whether node's transceiver has permanently
+// fail-stopped at the current cycle. Always false without a fault plan.
+// Cores guard their broadcast retry loops on it so a dead transceiver
+// surfaces as a fault record instead of an infinite retry spin.
+func (n *Network) NodeFailStopped(node int) bool {
+	return n.inj != nil && n.inj.FailStopped(node, uint64(n.eng.Now()))
 }
 
 // Params returns the channel configuration.
@@ -500,8 +532,41 @@ func (n *Network) freeRequest(r *request) {
 }
 
 // submit hands a (re)transmission attempt to the MAC, which decides when
-// it may occupy the channel.
-func (n *Network) submit(req *request) { n.mac.Submit(req) }
+// it may occupy the channel. A sender whose transceiver is inside an
+// outage window fails immediately instead of entering arbitration.
+func (n *Network) submit(req *request) {
+	if n.inj != nil && n.inj.Down(req.msg.Src, uint64(n.eng.Now())) {
+		n.failSend(req)
+		return
+	}
+	n.mac.Submit(req)
+}
+
+// failSend completes req as a fault-injected delivery failure without the
+// message ever entering the MAC. The completion is delivered as an engine
+// event in the same cycle so a blocking sender has parked before it is
+// woken; the state guard lets a same-cycle withdrawal win.
+func (n *Network) failSend(req *request) {
+	n.eng.Schedule(0, func() {
+		if req.state != reqPending {
+			return
+		}
+		req.state = reqDone
+		req.committed = false
+		n.Energy.FaultedSends++
+		req.resume()
+	})
+}
+
+// failPending completes a queued request whose sender's transceiver has
+// fail-stopped, from MAC sweep context (an engine event; the sender is
+// already parked). The caller removes the record from its queue.
+func (n *Network) failPending(req *request) {
+	req.state = reqDone
+	req.committed = false
+	n.Energy.FaultedSends++
+	req.resume()
+}
 
 // transmit starts req's transmission at slot (the current cycle). It is
 // the grant point every MAC funnels into: the prepare hook may abandon the
@@ -509,6 +574,17 @@ func (n *Network) submit(req *request) { n.mac.Submit(req) }
 // the commit is scheduled. The MAC is called back at the protocol-relevant
 // points (Granted / GrantAborted / TxScheduled).
 func (n *Network) transmit(req *request, slot sim.Time) {
+	if n.inj != nil && n.inj.Down(req.msg.Src, uint64(slot)) {
+		// The sender's transceiver went down while the message was queued:
+		// the grant is wasted, the channel stays free, and the send
+		// completes as a fault-injected failure.
+		req.state = reqDone
+		req.committed = false
+		n.Energy.FaultedSends++
+		req.resume()
+		n.mac.GrantAborted()
+		return
+	}
 	if n.prepare != nil && !n.prepare(req.msg) {
 		// Abandoned at grant: no transmission, channel still free.
 		// The next deferred sender restarts in this very slot.
@@ -572,7 +648,9 @@ func (n *Network) commit(req *request) {
 				req.retx++
 				n.Energy.Retransmissions++
 				req.state = reqPending
-				n.mac.Submit(req)
+				// Through submit, not the MAC directly: an outage that
+				// started mid-flight applies to the retransmission too.
+				n.submit(req)
 				return
 			}
 			// Budget exhausted: the send completes as a delivery failure
