@@ -26,11 +26,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -44,6 +46,8 @@ type row struct {
 	Done   bool   `json:"done,omitempty"`
 	Points int    `json:"points,omitempty"`
 	Errors int    `json:"errors,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // outcome is one request's digest: which job variant it ran, the
@@ -62,6 +66,12 @@ type outcome struct {
 	// deadline marks a request that hit the client-side -timeout: its own
 	// outcome class, distinct from 429 backpressure and hard errors.
 	deadline bool
+	// truncated marks a stream that ended without a done or failed
+	// trailer: the signature of the server process dying mid-job (a crash
+	// or kill -9, not a graceful error — graceful failures send a
+	// {"failed"} trailer). Its own class because the remedy differs: the
+	// job is journaled server-side and replays when the server returns.
+	truncated bool
 }
 
 func main() {
@@ -134,7 +144,8 @@ func main() {
 }
 
 // oneRequest posts the job, retrying on 429 with the server's Retry-After
-// (plus linear attempt spacing), and fingerprints the streamed rows.
+// hint (falling back to capped, jittered exponential backoff when the
+// hint is absent or unusable), and fingerprints the streamed rows.
 func oneRequest(client *http.Client, addr string, variant int, body []byte, maxRetries int) outcome {
 	o := outcome{variant: variant}
 	start := time.Now()
@@ -146,17 +157,14 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 			return o
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
+			header := resp.Header.Get("Retry-After")
 			resp.Body.Close()
 			if attempt >= maxRetries {
 				o.err = fmt.Errorf("gave up after %d 429s", attempt)
 				return o
 			}
 			o.retries++
-			wait := time.Duration(100+50*attempt) * time.Millisecond
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				wait = time.Duration(ra) * time.Second / 4
-			}
-			time.Sleep(wait)
+			time.Sleep(retryDelay(attempt, header, jitter50))
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -179,6 +187,13 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 				done = true
 				continue
 			}
+			if r.Failed {
+				// A graceful mid-stream failure: the server stayed alive and
+				// said so. A hard error, but not a truncation.
+				o.err = fmt.Errorf("server failed the job mid-stream: %s", r.Reason)
+				resp.Body.Close()
+				return o
+			}
 			o.rows++
 			if r.Cached {
 				o.cachedRows++
@@ -196,13 +211,61 @@ func oneRequest(client *http.Client, addr string, variant int, body []byte, maxR
 			return o
 		}
 		if !done {
-			o.err = fmt.Errorf("stream ended without done marker")
+			// Neither trailer arrived: the server process died mid-stream.
+			o.truncated = true
+			o.err = fmt.Errorf("stream truncated: ended without a done or failed trailer after %d rows", o.rows)
 			return o
 		}
 		copy(o.fp[:], h.Sum(nil))
 		o.latency = time.Since(start)
 		return o
 	}
+}
+
+// retryDelay computes the wait before re-submitting after a 429. A usable
+// Retry-After header wins; otherwise — header absent, zero, negative, or
+// malformed — the fallback is capped exponential backoff: clients that
+// can't be told when to return must at least not return in lockstep, and
+// must space out under sustained overload instead of hammering linearly.
+// jitter maps the raw delay to the slept one (jitter50 in production;
+// tests pass the identity to keep assertions exact).
+func retryDelay(attempt int, retryAfter string, jitter func(time.Duration) time.Duration) time.Duration {
+	if d, ok := parseRetryAfter(retryAfter); ok {
+		return d
+	}
+	return jitter(backoff429(attempt))
+}
+
+// parseRetryAfter interprets a 429's Retry-After header. ok is false for
+// the fall-back-to-backoff cases: absent, zero, negative, or malformed.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	ra, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || ra <= 0 {
+		return 0, false
+	}
+	// Poll faster than the hint: Retry-After is a coarse whole-second
+	// floor, while admission capacity frees at sweep-point granularity.
+	return time.Duration(ra) * time.Second / 4, true
+}
+
+// backoff429 is the fallback spacing: 100ms doubling per attempt, capped
+// at 5s.
+func backoff429(attempt int) time.Duration {
+	const base, maxDelay = 100 * time.Millisecond, 5 * time.Second
+	if attempt >= 6 { // base<<6 exceeds the cap
+		return maxDelay
+	}
+	d := base << attempt
+	if d > maxDelay {
+		return maxDelay
+	}
+	return d
+}
+
+// jitter50 spreads a delay over [d/2, 3d/2), so a burst of rejected
+// clients does not reconverge on the server simultaneously.
+func jitter50(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
 }
 
 // isTimeout reports whether err is the client-side -timeout firing (on
@@ -216,7 +279,7 @@ func isTimeout(err error) bool {
 }
 
 func report(outcomes []outcome, elapsed time.Duration, distinct int) {
-	var ok, failed, deadlines, retries, rows, cachedRows, errorRows int
+	var ok, failed, truncated, deadlines, retries, rows, cachedRows, errorRows int
 	var latencies []time.Duration
 	fps := make(map[int][sha256.Size]byte, distinct)
 	mismatched := 0
@@ -224,6 +287,10 @@ func report(outcomes []outcome, elapsed time.Duration, distinct int) {
 		retries += o.retries
 		if o.deadline {
 			deadlines++
+			continue
+		}
+		if o.truncated {
+			truncated++
 			continue
 		}
 		if o.err != nil {
@@ -249,8 +316,8 @@ func report(outcomes []outcome, elapsed time.Duration, distinct int) {
 		i := int(p * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	fmt.Printf("requests=%d ok=%d failed=%d deadline=%d retries429=%d elapsed=%v rps=%.1f\n",
-		len(outcomes), ok, failed, deadlines, retries, elapsed.Round(time.Millisecond),
+	fmt.Printf("requests=%d ok=%d failed=%d truncated=%d deadline=%d retries429=%d elapsed=%v rps=%.1f\n",
+		len(outcomes), ok, failed, truncated, deadlines, retries, elapsed.Round(time.Millisecond),
 		float64(ok)/elapsed.Seconds())
 	fmt.Printf("rows=%d cached=%d (%.1f%%) errorRows=%d variants=%d mismatched=%d\n",
 		rows, cachedRows, 100*float64(cachedRows)/max(1, float64(rows)), errorRows,
@@ -258,6 +325,13 @@ func report(outcomes []outcome, elapsed time.Duration, distinct int) {
 	fmt.Printf("latency p50=%v p95=%v max=%v\n",
 		pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
 		pct(1.0).Round(time.Millisecond))
+	if truncated > 0 {
+		// Distinct failure class and message: a truncated stream means the
+		// server process died mid-job — look for a crash, not a bad job.
+		// The jobs are journaled server-side and replay on its restart.
+		fmt.Printf("FAIL: %d streams truncated (no done/failed trailer) — the server died mid-job\n", truncated)
+		os.Exit(1)
+	}
 	if failed > 0 || mismatched > 0 || errorRows > 0 {
 		fmt.Println("FAIL: requests failed, responses diverged, or error rows were returned")
 		os.Exit(1)

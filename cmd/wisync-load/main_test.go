@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// identity stands in for jitter50 so delay assertions stay exact.
+func identity(d time.Duration) time.Duration { return d }
+
+// TestRetryDelayBackoffFallback pins the 429 spacing when the server's
+// Retry-After is unusable: capped exponential growth, never the old
+// linear crawl, for every malformed-header shape.
+func TestRetryDelayBackoffFallback(t *testing.T) {
+	for _, header := range []string{"", "0", "-3", "soon", "1.5", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		wants := []time.Duration{
+			100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+			800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+			5 * time.Second, 5 * time.Second,
+		}
+		for attempt, want := range wants {
+			if got := retryDelay(attempt, header, identity); got != want {
+				t.Fatalf("retryDelay(%d, %q) = %v, want %v", attempt, header, got, want)
+			}
+		}
+		// The cap holds arbitrarily deep, including where a naive shift
+		// would overflow.
+		for _, attempt := range []int{10, 63, 64, 1000} {
+			if got := retryDelay(attempt, header, identity); got != 5*time.Second {
+				t.Fatalf("retryDelay(%d, %q) = %v, want the 5s cap", attempt, header, got)
+			}
+		}
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter pins that a usable positive Retry-After
+// wins over the backoff schedule, unjittered.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	panicJitter := func(time.Duration) time.Duration { panic("jitter applied to a server hint") }
+	if got := retryDelay(0, "2", panicJitter); got != 500*time.Millisecond {
+		t.Fatalf("retryDelay with Retry-After 2 = %v, want 500ms", got)
+	}
+	if got := retryDelay(9, " 4 ", panicJitter); got != time.Second {
+		t.Fatalf("retryDelay with Retry-After 4 = %v, want 1s", got)
+	}
+}
+
+// TestJitter50Bounds pins the jitter envelope: [d/2, 3d/2].
+func TestJitter50Bounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		if j := jitter50(d); j < d/2 || j > 3*d/2 {
+			t.Fatalf("jitter50(%v) = %v outside [%v, %v]", d, j, d/2, 3*d/2)
+		}
+	}
+}
+
+// TestOneRequestTruncated pins the truncated class: a stream that ends
+// without a done or failed trailer — the server died mid-job — is
+// reported as truncated, not as a generic error.
+func TestOneRequestTruncated(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"id":"p1","row":"p1\trow"}`)
+		// Connection drops here: no trailer.
+	}))
+	defer ts.Close()
+	o := oneRequest(http.DefaultClient, ts.URL, 0, []byte(`{}`), 3)
+	if !o.truncated {
+		t.Fatalf("outcome not truncated: %+v", o)
+	}
+	if o.err == nil || !strings.Contains(o.err.Error(), "truncated") {
+		t.Fatalf("truncated outcome err = %v", o.err)
+	}
+	if o.rows != 1 {
+		t.Fatalf("rows before truncation = %d, want 1", o.rows)
+	}
+}
+
+// TestOneRequestFailedTrailer pins the graceful-failure class: a
+// {"failed"} trailer is a hard error carrying the server's reason, and
+// explicitly NOT a truncation.
+func TestOneRequestFailedTrailer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"id":"p1","row":"p1\trow"}`)
+		fmt.Fprintln(w, `{"failed":true,"reason":"internal error: disk on fire"}`)
+	}))
+	defer ts.Close()
+	o := oneRequest(http.DefaultClient, ts.URL, 0, []byte(`{}`), 3)
+	if o.truncated {
+		t.Fatalf("failed trailer classified as truncation: %+v", o)
+	}
+	if o.err == nil || !strings.Contains(o.err.Error(), "disk on fire") {
+		t.Fatalf("failed-trailer err = %v", o.err)
+	}
+}
+
+// TestOneRequestRetriesThenSucceeds pins the 429 loop end to end: a
+// server that bounces the first attempts (with no usable Retry-After) is
+// retried with backoff until it admits the job, and the retry count is
+// reported.
+func TestOneRequestRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"p1","row":"p1\trow"}`)
+		fmt.Fprintln(w, `{"done":true,"points":1}`)
+	}))
+	defer ts.Close()
+	o := oneRequest(http.DefaultClient, ts.URL, 0, []byte(`{}`), 10)
+	if o.err != nil || o.retries != 2 || o.rows != 1 {
+		t.Fatalf("outcome: %+v", o)
+	}
+}
+
+// TestOneRequestGivesUp pins the retry bound: a server that never admits
+// the job exhausts max-retries into a hard error, not an infinite loop.
+func TestOneRequestGivesUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	o := oneRequest(http.DefaultClient, ts.URL, 0, []byte(`{}`), 2)
+	if o.err == nil || !strings.Contains(o.err.Error(), "gave up") {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if o.retries != 2 {
+		t.Fatalf("retries = %d, want 2", o.retries)
+	}
+}

@@ -44,7 +44,10 @@ func loadGolden(t *testing.T) map[string]string {
 
 func newTestServer(t *testing.T, o serverOptions) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(o)
+	s, err := newServer(o)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts
@@ -415,8 +418,9 @@ func TestServerJobDeadline(t *testing.T) {
 }
 
 // TestServerDrainUnderLoad pins graceful shutdown: with a job mid-stream,
-// StartDrain refuses new sweeps with 503 + Retry-After and flips /healthz,
-// while the in-flight job keeps streaming to its done marker.
+// StartDrain refuses new sweeps with 503 + Retry-After and flips /readyz
+// (liveness /healthz stays 200), while the in-flight job keeps streaming
+// to its done marker.
 func TestServerDrainUnderLoad(t *testing.T) {
 	s, ts := newTestServer(t, serverOptions{Workers: 1})
 	// Two points through one worker: after the first row arrives the job
@@ -458,14 +462,23 @@ func TestServerDrainUnderLoad(t *testing.T) {
 	if r2.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
 	}
-	// ...and /healthz reports draining...
+	// ...and /readyz reports draining, while /healthz (pure liveness)
+	// stays 200: the process is alive, just finishing its work.
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", rz.StatusCode)
+	}
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hz.Body.Close()
-	if hz.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("/healthz while draining: status %d, want 503", hz.StatusCode)
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining: status %d, want 200", hz.StatusCode)
 	}
 
 	// ...but the in-flight job drains to completion, error-free.

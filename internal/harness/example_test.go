@@ -1,6 +1,8 @@
 package harness_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -65,4 +67,29 @@ func ExamplePointSpec_lossyChannel() {
 	// Output:
 	// retx=30
 	// drops=0
+}
+
+// ExampleServeWire shows one exchange of the subprocess wire protocol:
+// the supervisor side (cmd/wisync-server via internal/workerpool) writes
+// a sequence-numbered WireRequest to the worker's stdin, the worker side
+// (cmd/wisync-worker) answers with one WireResponse. The row comes from
+// the exact PointSpec.Run path, so it matches the in-process result — and
+// the golden matrix — byte for byte.
+func ExampleServeWire() {
+	var stdin, stdout bytes.Buffer
+	harness.EncodeWire(&stdin, harness.WireRequest{
+		Seq:  7,
+		Spec: harness.PointSpec{Workload: "tightloop", Kind: config.WiSync, Cores: 16, Seed: 1},
+	})
+	if err := harness.ServeWire(&stdin, &stdout); err != nil {
+		fmt.Println("worker:", err)
+		return
+	}
+	var resp harness.WireResponse
+	json.Unmarshal(stdout.Bytes(), &resp)
+	fmt.Println(resp.Seq, resp.Err)
+	fmt.Println(strings.SplitN(resp.Row, "\t", 2)[0])
+	// Output:
+	// 7 false
+	// tightloop/WiSync/16c/s1
 }

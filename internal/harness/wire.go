@@ -1,0 +1,80 @@
+// Subprocess wire protocol.
+//
+// The sweep service can run points in OS-isolated worker subprocesses
+// (cmd/wisync-worker, supervised by internal/workerpool) so a runaway or
+// crashing simulation can be SIGKILLed without taking down the server.
+// The protocol between supervisor and worker is newline-delimited JSON on
+// the worker's stdin/stdout: one WireRequest per point down, one
+// WireResponse back, sequence-numbered so a supervisor can detect a
+// desynchronized worker and recycle it. Workers run the exact
+// PointSpec.Run path, so a row computed in a subprocess is byte-identical
+// to the in-process one — isolation never moves a result.
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WireRequest is one point dispatched to a worker subprocess. Seq pairs
+// the eventual response with its request: the protocol is strictly
+// one-in-flight per worker, so a mismatched Seq means the worker is
+// desynchronized and must be recycled.
+type WireRequest struct {
+	Seq  uint64    `json:"seq"`
+	Spec PointSpec `json:"spec"`
+}
+
+// WireResponse is a worker's answer: the golden-format row, or the
+// structured error string PointSpec.Run produced (validation failure,
+// budget/livelock/abort, recovered panic). Exactly one of Row and Error
+// is meaningful; Err distinguishes an empty row from an empty error.
+type WireResponse struct {
+	Seq   uint64 `json:"seq"`
+	Row   string `json:"row,omitempty"`
+	Err   bool   `json:"err,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// EncodeWire writes v as one newline-terminated JSON line. Both sides of
+// the protocol use it so framing lives in one place.
+func EncodeWire(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// ServeWire is the worker side of the protocol: read requests from r, run
+// each point through the exact PointSpec.Run path, and write responses to
+// w until EOF. Run never panics (per-point recovery is inside it), so the
+// loop only ends when the supervisor closes stdin, kills the process, or
+// the simulation crashes hard (OOM, runtime fault) — which is precisely
+// what process isolation exists to contain. A clean EOF returns nil.
+func ServeWire(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	bw := bufio.NewWriter(w)
+	for {
+		var req WireRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("harness: decoding wire request: %w", err)
+		}
+		resp := WireResponse{Seq: req.Seq}
+		row, err := req.Spec.Run()
+		if err != nil {
+			resp.Err = true
+			resp.Error = err.Error()
+		} else {
+			resp.Row = row
+		}
+		if err := EncodeWire(bw, resp); err != nil {
+			return fmt.Errorf("harness: encoding wire response: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("harness: flushing wire response: %w", err)
+		}
+	}
+}

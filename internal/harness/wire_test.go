@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"wisync/internal/config"
+)
+
+// TestServeWireRoundTrip pins the subprocess protocol end to end in one
+// process: a spec encoded down the pipe comes back as the byte-identical
+// row PointSpec.Run produces, and an invalid spec comes back as a
+// structured error response — never a dead serve loop.
+func TestServeWireRoundTrip(t *testing.T) {
+	good := PointSpec{Workload: "tightloop", Kind: config.WiSync, Cores: 16, Seed: 1}
+	wantRow, err := good.Run()
+	if err != nil {
+		t.Fatalf("inproc run: %v", err)
+	}
+	bad := PointSpec{Workload: "mystery", Kind: config.WiSync, Cores: 16, Seed: 1}
+
+	var in, out bytes.Buffer
+	for i, spec := range []PointSpec{good, bad, good} {
+		if err := EncodeWire(&in, WireRequest{Seq: uint64(i + 1), Spec: spec}); err != nil {
+			t.Fatalf("encoding request %d: %v", i, err)
+		}
+	}
+	if err := ServeWire(&in, &out); err != nil {
+		t.Fatalf("ServeWire: %v", err)
+	}
+
+	var resps []WireResponse
+	dec := newWireDecoder(t, &out)
+	for {
+		var r WireResponse
+		if !dec(&r) {
+			break
+		}
+		resps = append(resps, r)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses, want 3", len(resps))
+	}
+	if resps[0].Seq != 1 || resps[0].Err || resps[0].Row != wantRow {
+		t.Fatalf("good response drifted: %+v, want row %q", resps[0], wantRow)
+	}
+	if resps[1].Seq != 2 || !resps[1].Err || !strings.Contains(resps[1].Error, "unknown workload") {
+		t.Fatalf("bad spec response: %+v", resps[1])
+	}
+	if resps[2].Row != wantRow {
+		t.Fatalf("repeat response differs from first: %q vs %q", resps[2].Row, wantRow)
+	}
+}
+
+// TestServeWireGarbage pins that a corrupt request stream is a returned
+// error, not a hang or panic.
+func TestServeWireGarbage(t *testing.T) {
+	var out bytes.Buffer
+	if err := ServeWire(strings.NewReader("{not json\n"), &out); err == nil {
+		t.Fatal("garbage request stream did not error")
+	}
+}
+
+// newWireDecoder returns a closure decoding one response per call,
+// reporting false at EOF and failing the test on anything malformed.
+func newWireDecoder(t *testing.T, r io.Reader) func(*WireResponse) bool {
+	t.Helper()
+	dec := json.NewDecoder(r)
+	return func(v *WireResponse) bool {
+		err := dec.Decode(v)
+		if err == io.EOF {
+			return false
+		}
+		if err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+		return true
+	}
+}

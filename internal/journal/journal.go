@@ -1,0 +1,273 @@
+// Package journal is the sweep service's job write-ahead log: the record
+// that lets an accepted job survive the process that accepted it.
+//
+// The contract is small and strict. A job is appended — and the line
+// fsync'd — before any of its rows are streamed to the client, so by the
+// time a caller can observe partial output the job is already durable. A
+// completion record is appended when the last row has been delivered.
+// On Open the log is replayed: jobs with no completion record are the
+// ones a previous process accepted and died holding, and they are
+// returned to the caller for re-execution (re-running them is safe —
+// every sweep point is deterministic and content-addressed, so a replay
+// redoes only the points the durable cache doesn't already hold).
+//
+// The format is one JSON object per line. A crash can tear the final
+// line; replay treats the first undecodable line as the end of the log
+// and drops it — a torn append means the client never got a single row
+// of that job, so losing the record loses nothing the client could have
+// observed. Replay also compacts: the log is atomically rewritten to
+// hold only the still-incomplete jobs, and at runtime a bounded number
+// of completion records may accumulate before the next compaction folds
+// them away, so the file stays proportional to the live job count, not
+// the lifetime job count.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// compactEvery bounds how many completed-job record pairs may accumulate
+// in the live log before Complete folds them away.
+const compactEvery = 256
+
+// record is one WAL line. Op is "job" (Payload set) or "done".
+type record struct {
+	Op      string          `json:"op"`
+	ID      uint64          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Entry is one incomplete job recovered by Open, in acceptance order.
+type Entry struct {
+	ID      uint64
+	Payload json.RawMessage
+}
+
+// Journal is an append-only, fsync'd job log. Construct with Open; all
+// methods are safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	nextID  uint64
+	pending map[uint64]json.RawMessage
+	// doneSinceCompact counts completion records written since the last
+	// compaction; crossing compactEvery triggers the next one.
+	doneSinceCompact int
+	closed           bool
+}
+
+// Open replays the log at path (created if absent), compacts it down to
+// its incomplete jobs, and returns those jobs in acceptance order. The
+// returned journal appends with IDs strictly above every replayed one.
+func Open(path string) (*Journal, []Entry, error) {
+	j := &Journal{path: path, pending: make(map[uint64]json.RawMessage)}
+	entries, err := j.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := j.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	return j, entries, nil
+}
+
+// replay scans the existing log, populating pending and nextID. A missing
+// file is an empty log. The first undecodable line is treated as a torn
+// tail: everything from it on is ignored (and dropped by compaction).
+func (j *Journal) replay() ([]Entry, error) {
+	f, err := os.Open(j.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", j.path, err)
+	}
+	defer f.Close()
+
+	var order []uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail: the crash interrupted this append
+		}
+		switch rec.Op {
+		case "job":
+			if rec.ID >= j.nextID {
+				j.nextID = rec.ID + 1
+			}
+			if _, dup := j.pending[rec.ID]; !dup {
+				j.pending[rec.ID] = rec.Payload
+				order = append(order, rec.ID)
+			}
+		case "done":
+			delete(j.pending, rec.ID)
+		default:
+			// Unknown op from a future version: preserve ID monotonicity,
+			// otherwise ignore.
+			if rec.ID >= j.nextID {
+				j.nextID = rec.ID + 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return nil, fmt.Errorf("journal: reading %s: %w", j.path, err)
+	}
+
+	var entries []Entry
+	for _, id := range order {
+		if payload, ok := j.pending[id]; ok {
+			entries = append(entries, Entry{ID: id, Payload: payload})
+		}
+	}
+	return entries, nil
+}
+
+// compactLocked atomically rewrites the log to hold exactly the pending
+// jobs, fsyncs it, and swaps it in place of the old file. The journal's
+// append handle is reopened on the new file. Callers hold j.mu (or, at
+// Open time, exclusive ownership).
+func (j *Journal) compactLocked() error {
+	if err := os.MkdirAll(filepath.Dir(j.path), 0o755); err != nil {
+		return fmt.Errorf("journal: creating log dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	// Rewrite in ID order — acceptance order — so a replay of the
+	// compacted log resumes jobs oldest-first.
+	for _, e := range j.pendingOrdered() {
+		if err := enc.Encode(record{Op: "job", ID: e.ID, Payload: e.Payload}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compacting: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopening after compaction: %w", err)
+	}
+	j.f = f
+	j.doneSinceCompact = 0
+	return nil
+}
+
+// pendingOrdered returns the pending jobs sorted by ID.
+func (j *Journal) pendingOrdered() []Entry {
+	entries := make([]Entry, 0, len(j.pending))
+	for id, payload := range j.pending {
+		entries = append(entries, Entry{ID: id, Payload: payload})
+	}
+	for i := 1; i < len(entries); i++ {
+		for k := i; k > 0 && entries[k].ID < entries[k-1].ID; k-- {
+			entries[k], entries[k-1] = entries[k-1], entries[k]
+		}
+	}
+	return entries
+}
+
+// Append durably records an accepted job and returns its ID. The line is
+// fsync'd before Append returns: once a caller holds the ID, the job
+// survives any crash.
+func (j *Journal) Append(payload json.RawMessage) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal: closed")
+	}
+	id := j.nextID
+	j.nextID++
+	if err := j.writeLocked(record{Op: "job", ID: id, Payload: payload}); err != nil {
+		return 0, err
+	}
+	j.pending[id] = payload
+	return id, nil
+}
+
+// Complete durably records that job id delivered its last row. Completing
+// an unknown or already-completed ID is a no-op. Every compactEvery
+// completions the log is folded down to its pending jobs.
+func (j *Journal) Complete(id uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, ok := j.pending[id]; !ok {
+		return nil
+	}
+	if err := j.writeLocked(record{Op: "done", ID: id}); err != nil {
+		return err
+	}
+	delete(j.pending, id)
+	j.doneSinceCompact++
+	if j.doneSinceCompact >= compactEvery {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// writeLocked appends one fsync'd line. Caller holds j.mu.
+func (j *Journal) writeLocked(rec record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Pending reports the number of incomplete jobs on record.
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// Close releases the log file. Pending jobs stay on disk for the next
+// Open to replay.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

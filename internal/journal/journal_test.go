@@ -1,0 +1,237 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, path string) (*Journal, []Entry) {
+	t.Helper()
+	j, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, entries
+}
+
+func payload(s string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"job":%q}`, s))
+}
+
+// TestJournalReplayIncomplete pins the core contract: jobs appended but
+// not completed before the "crash" (Close) are exactly the ones the next
+// Open returns, in acceptance order, payloads intact.
+func TestJournalReplayIncomplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, entries := open(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh log replayed %d entries", len(entries))
+	}
+	a, err := j.Append(payload("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Append(payload("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := j.Append(payload("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete(b); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, entries := open(t, path)
+	if len(entries) != 2 || entries[0].ID != a || entries[1].ID != c {
+		t.Fatalf("replay: %+v (want ids %d,%d)", entries, a, c)
+	}
+	if string(entries[0].Payload) != string(payload("a")) || string(entries[1].Payload) != string(payload("c")) {
+		t.Fatalf("replayed payloads corrupted: %+v", entries)
+	}
+	// IDs stay monotonic across the restart: a new job can never collide
+	// with a replayed one.
+	d, err := j2.Append(payload("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= c {
+		t.Fatalf("post-replay id %d not above replayed max %d", d, c)
+	}
+}
+
+// TestJournalTornTail pins crash tolerance: a partial final line — the
+// signature of a crash mid-append — is dropped on replay, the records
+// before it are intact, and the compaction rewrite removes the torn bytes.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	a, _ := j.Append(payload("a"))
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"job","id":7,"payl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, entries := open(t, path)
+	if len(entries) != 1 || entries[0].ID != a {
+		t.Fatalf("replay over torn tail: %+v", entries)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"id":7`) {
+		t.Fatalf("compaction kept the torn bytes: %q", b)
+	}
+}
+
+// TestJournalCompactionAtOpen pins that Open folds completed records
+// away: after append+complete cycles and a reopen, the file holds only
+// the incomplete jobs.
+func TestJournalCompactionAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	for i := 0; i < 10; i++ {
+		id, _ := j.Append(payload(fmt.Sprintf("j%d", i)))
+		if i != 7 {
+			if err := j.Complete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Close()
+
+	_, entries := open(t, path)
+	if len(entries) != 1 || string(entries[0].Payload) != string(payload("j7")) {
+		t.Fatalf("replay: %+v", entries)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimRight(string(b), "\n"), "\n") + 1
+	if lines != 1 {
+		t.Fatalf("compacted log has %d lines:\n%s", lines, b)
+	}
+}
+
+// TestJournalAutoCompaction pins the runtime bound: a long-lived process
+// completing thousands of jobs keeps a small log — completion records are
+// folded away every compactEvery, not accumulated until restart.
+func TestJournalAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	keep, _ := j.Append(payload("keeper"))
+	for i := 0; i < 3*compactEvery; i++ {
+		id, err := j.Append(payload("churn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Complete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous bound: the file may hold up to ~2*compactEvery live lines
+	// between compactions, never 6*compactEvery lifetime lines.
+	if fi.Size() > int64(3*compactEvery*64) {
+		t.Fatalf("log grew unbounded: %d bytes after %d completions", fi.Size(), 3*compactEvery)
+	}
+	// The long-lived job survived every compaction.
+	j.Close()
+	_, entries := open(t, path)
+	if len(entries) != 1 || entries[0].ID != keep {
+		t.Fatalf("keeper lost across compactions: %+v", entries)
+	}
+}
+
+// TestJournalCompleteUnknown pins idempotence: completing an unknown or
+// already-completed ID is a harmless no-op.
+func TestJournalCompleteUnknown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	if err := j.Complete(999); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := j.Append(payload("x"))
+	if err := j.Complete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete(id); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.Pending(); n != 0 {
+		t.Fatalf("pending=%d", n)
+	}
+}
+
+// TestJournalConcurrent pins mutual exclusion under the race detector:
+// concurrent appenders and completers never corrupt the log, and a replay
+// accounts for every job exactly once.
+func TestJournalConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	const n = 50
+	ids := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := j.Append(payload(fmt.Sprintf("g%d", i)))
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			ids[i] = id
+			if i%2 == 0 {
+				if err := j.Complete(id); err != nil {
+					t.Errorf("complete %d: %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n2 := j.Pending(); n2 != n/2 {
+		t.Fatalf("pending=%d, want %d", n2, n/2)
+	}
+	j.Close()
+	_, entries := open(t, path)
+	if len(entries) != n/2 {
+		t.Fatalf("replayed %d, want %d", len(entries), n/2)
+	}
+}
+
+// TestJournalClosed pins the closed state: appends and completes after
+// Close fail loudly instead of writing to a dead handle.
+func TestJournalClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := open(t, path)
+	j.Close()
+	if _, err := j.Append(payload("x")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Complete(0); err == nil {
+		t.Fatal("Complete after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -9,6 +9,11 @@
 // from a recomputed one and repeated or overlapping sweeps from many
 // clients cost near zero. Errors are never cached — a failed computation
 // is retried on the next request for the same key.
+//
+// An optional durable tier (NewDisk) persists every completed row as a
+// self-checksummed file, so a restarted process serves previously computed
+// points warm instead of recomputing them; see disk.go for the format and
+// the corruption guarantees.
 package sweepcache
 
 import (
@@ -40,6 +45,15 @@ type Stats struct {
 	Evictions, Errors, InflightErrors uint64
 	// Entries and Capacity describe the store's current occupancy.
 	Entries, Capacity int
+	// Disk-tier counters, all zero for a memory-only cache (New). DiskHits
+	// counts Do calls served from a verified disk entry after a memory
+	// miss; DiskWrites counts entries durably stored; DiskWriteErrors
+	// counts failed stores (the row is still served and cached in memory);
+	// CorruptEntries counts damaged entries detected, deleted, and
+	// recomputed — at preload or on read — never served; Preloaded counts
+	// entries verified and indexed at construction time.
+	DiskHits, DiskWrites, DiskWriteErrors uint64
+	CorruptEntries, Preloaded             uint64
 }
 
 // call is one in-flight computation; waiters block on done.
@@ -58,6 +72,7 @@ type Cache struct {
 	items    map[Key]*list.Element
 	inflight map[Key]*call
 	stats    Stats
+	disk     *diskTier // nil for a memory-only cache
 }
 
 type entry struct {
@@ -76,6 +91,27 @@ func New(capacity int) *Cache {
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*call),
 	}
+}
+
+// NewDisk returns a cache bounded to capacity memory entries and backed by
+// a durable disk tier rooted at dir (created if absent). Existing entries
+// are verified against their embedded checksums and preloaded into the
+// memory index — a warm restart serves them as hits — while corrupt or
+// truncated entries are deleted and counted, never served.
+func NewDisk(capacity int, dir string) (*Cache, error) {
+	c := New(capacity)
+	d, err := newDiskTier(dir)
+	if err != nil {
+		return nil, err
+	}
+	c.disk = d
+	// Preload runs before the cache is shared, but insert expects c.mu.
+	c.mu.Lock()
+	loaded, corrupt := d.preload(c.insert)
+	c.stats.Preloaded = uint64(loaded)
+	c.stats.CorruptEntries = uint64(corrupt)
+	c.mu.Unlock()
+	return c, nil
 }
 
 // Get returns the cached row for key, if present, marking it recently
@@ -127,18 +163,50 @@ func (c *Cache) Do(key Key, compute func() (string, error)) (row string, cached 
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	cl.row, cl.err = runCompute(compute)
+	// Disk lookup happens inside the single-flight window: concurrent
+	// callers for the same key join this call, so the file is read (and a
+	// corrupt entry recomputed) at most once across all of them.
+	var fromDisk bool
+	if c.disk != nil {
+		row, ok, corrupt := c.disk.load(key)
+		if ok {
+			cl.row, fromDisk = row, true
+		} else if corrupt {
+			c.mu.Lock()
+			c.stats.CorruptEntries++
+			c.mu.Unlock()
+		}
+	}
+	if !fromDisk {
+		cl.row, cl.err = runCompute(compute)
+		if cl.err == nil && c.disk != nil {
+			// Store before publishing so a crash right after callers saw the
+			// row is the only window where it isn't durable yet — and then
+			// it is simply recomputed on the next request.
+			werr := c.disk.store(key, cl.row)
+			c.mu.Lock()
+			if werr != nil {
+				c.stats.DiskWriteErrors++
+			} else {
+				c.stats.DiskWrites++
+			}
+			c.mu.Unlock()
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if cl.err == nil {
 		c.insert(key, cl.row)
+		if fromDisk {
+			c.stats.DiskHits++
+		}
 	} else {
 		c.stats.Errors++
 	}
 	c.mu.Unlock()
 	close(cl.done)
-	return cl.row, false, cl.err
+	return cl.row, fromDisk, cl.err
 }
 
 // runCompute shields the cache from a panicking computation.

@@ -1,0 +1,194 @@
+// Durable disk tier.
+//
+// The memory LRU evaporates with the process; the disk tier makes
+// completed points survive a crash or restart. Rows are stored as
+// content-addressed files — one per (Digest, seed) key — whose first line
+// embeds a SHA-256 self-checksum of the payload, so a torn write, a
+// bit-flip, or a truncated file is detected on read, deleted, and
+// recomputed; a corrupt entry is never served. Writes go through a
+// temp-file + rename so a crash mid-store leaves either the old entry or
+// none, never a half-written one the next process would trust.
+//
+// The disk tier is deliberately unbounded (the LRU bound applies to the
+// memory tier only): entries are small single-line rows, and an operator
+// who needs to reclaim space can delete any subset of the directory —
+// every file is independently verifiable and independently expendable.
+package sweepcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// diskMagic is the entry header prefix; bumping the version invalidates
+// (and therefore recomputes) every stored entry.
+const diskMagic = "wisync-sweepcache/1"
+
+// diskTier stores rows as self-checksummed files under one directory.
+type diskTier struct {
+	dir string
+}
+
+// newDiskTier creates dir if needed.
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweepcache: creating cache dir: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+// fileName renders a key as its on-disk name: the digest (hex in practice,
+// hex-escaped defensively otherwise) plus the seed. parseFileName is its
+// inverse.
+func fileName(key Key) string {
+	d := key.Digest
+	if !isSafeName(d) {
+		d = "x" + hex.EncodeToString([]byte(d))
+	}
+	return fmt.Sprintf("%s-s%d.row", d, key.Seed)
+}
+
+func parseFileName(name string) (Key, bool) {
+	base, ok := strings.CutSuffix(name, ".row")
+	if !ok {
+		return Key{}, false
+	}
+	i := strings.LastIndex(base, "-s")
+	if i < 0 {
+		return Key{}, false
+	}
+	seed, err := strconv.ParseUint(base[i+2:], 10, 64)
+	if err != nil {
+		return Key{}, false
+	}
+	d := base[:i]
+	if strings.HasPrefix(d, "x") {
+		if raw, err := hex.DecodeString(d[1:]); err == nil {
+			d = string(raw)
+		} else {
+			return Key{}, false
+		}
+	}
+	return Key{Digest: d, Seed: seed}, true
+}
+
+func isSafeName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "x") {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// encodeEntry renders the file body: a header line carrying the payload
+// checksum, then the payload bytes.
+func encodeEntry(row string) []byte {
+	sum := sha256.Sum256([]byte(row))
+	return []byte(fmt.Sprintf("%s %s\n%s", diskMagic, hex.EncodeToString(sum[:]), row))
+}
+
+// decodeEntry verifies the self-checksum and returns the payload; any
+// mismatch — wrong magic, short file, checksum drift — reports corruption.
+func decodeEntry(b []byte) (string, error) {
+	head, payload, ok := strings.Cut(string(b), "\n")
+	if !ok {
+		return "", fmt.Errorf("sweepcache: entry missing header line")
+	}
+	magic, sumHex, ok := strings.Cut(head, " ")
+	if !ok || magic != diskMagic {
+		return "", fmt.Errorf("sweepcache: bad entry header %q", head)
+	}
+	want, err := hex.DecodeString(sumHex)
+	if err != nil || len(want) != sha256.Size {
+		return "", fmt.Errorf("sweepcache: malformed entry checksum %q", sumHex)
+	}
+	if sum := sha256.Sum256([]byte(payload)); string(sum[:]) != string(want) {
+		return "", fmt.Errorf("sweepcache: entry checksum mismatch")
+	}
+	return payload, nil
+}
+
+// load reads and verifies one entry. ok reports a served row; corrupt
+// reports a damaged entry that was deleted (the caller recomputes).
+func (d *diskTier) load(key Key) (row string, ok, corrupt bool) {
+	path := filepath.Join(d.dir, fileName(key))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", false, false
+	}
+	row, derr := decodeEntry(b)
+	if derr != nil {
+		// Detected corruption: remove the entry so it is recomputed and
+		// rewritten, never served.
+		_ = os.Remove(path)
+		return "", false, true
+	}
+	return row, true, false
+}
+
+// store durably writes one entry: temp file, fsync, atomic rename. A
+// failure leaves no partial entry behind.
+func (d *diskTier) store(key Key, row string) error {
+	path := filepath.Join(d.dir, fileName(key))
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeEntry(row)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// preload walks the directory, verifies every entry, deletes corrupt
+// ones, and hands verified rows to insert (which applies the memory LRU
+// bound). Stale temp files from a crashed writer are swept here too.
+func (d *diskTier) preload(insert func(Key, string)) (loaded, corrupt int) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			_ = os.Remove(filepath.Join(d.dir, e.Name()))
+			continue
+		}
+		key, ok := parseFileName(e.Name())
+		if !ok {
+			continue
+		}
+		row, ok, bad := d.load(key)
+		if bad {
+			corrupt++
+			continue
+		}
+		if ok {
+			insert(key, row)
+			loaded++
+		}
+	}
+	return loaded, corrupt
+}

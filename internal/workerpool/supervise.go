@@ -1,0 +1,195 @@
+package workerpool
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"wisync/internal/core"
+	"wisync/internal/harness"
+)
+
+// worker is one live subprocess: its pipes, its response stream, and the
+// sequence number pairing requests with responses.
+type worker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	// responses carries decoded WireResponses from the reader goroutine;
+	// it closes when the worker's stdout ends (death or desync), after
+	// which the reader reaps the process.
+	responses chan harness.WireResponse
+	seq       uint64
+}
+
+// startWorker spawns one subprocess and its response reader. The reader
+// goroutine owns cmd.Wait, so every spawned worker is reaped exactly once
+// no matter how it dies.
+func (p *Pool) startWorker() (*worker, error) {
+	cmd := exec.Command(p.opts.Command[0], p.opts.Command[1:]...)
+	cmd.Env = append(os.Environ(), p.opts.Env...)
+	cmd.Stderr = p.opts.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("workerpool: stdin pipe: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("workerpool: stdout pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("workerpool: starting %q: %w", p.opts.Command[0], err)
+	}
+	w := &worker{cmd: cmd, stdin: stdin, responses: make(chan harness.WireResponse, 1)}
+	go func() {
+		dec := json.NewDecoder(stdout)
+		for {
+			var resp harness.WireResponse
+			if err := dec.Decode(&resp); err != nil {
+				// EOF (worker exited or was killed) or a corrupt stream;
+				// either way this worker is done producing.
+				break
+			}
+			w.responses <- resp
+		}
+		close(w.responses)
+		_ = cmd.Wait()
+	}()
+	return w, nil
+}
+
+// kill SIGKILLs the worker; the reader goroutine observes stdout EOF and
+// reaps it. Safe to call on an already-dead worker. A drainer goroutine
+// consumes any leftover responses so a desynchronized worker that spewed
+// extra lines can never wedge its reader (and thus its reaper).
+func (w *worker) kill() {
+	_ = w.stdin.Close()
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+	go func() {
+		for range w.responses {
+		}
+	}()
+}
+
+// send writes one request line to the worker's stdin.
+func (w *worker) send(req harness.WireRequest) error {
+	return harness.EncodeWire(w.stdin, req)
+}
+
+// supervise owns one pool slot: it spawns a worker lazily, feeds it one
+// point at a time, hard-kills it when a point exceeds PointTimeout or its
+// context is canceled, and replaces crashed workers with capped,
+// jittered exponential backoff. It exits only when the pool closes.
+func (p *Pool) supervise() {
+	defer p.wg.Done()
+	var w *worker
+	// respawn marks that this slot's previous worker died: the next
+	// successful spawn counts as a restart.
+	respawn := false
+	backoff := p.opts.BackoffBase
+	defer func() {
+		if w != nil {
+			w.kill()
+		}
+	}()
+	for {
+		var req *request
+		select {
+		case <-p.done:
+			return
+		case req = <-p.reqs:
+		}
+		// The breaker may have tripped, or the job's deadline expired,
+		// while the request sat in the queue.
+		if n, open := p.breakerState(req.key); open {
+			p.breakerRejects.Add(1)
+			req.resp <- result{err: fmt.Errorf("workerpool: point %s crashed its worker %d consecutive times: %w",
+				req.spec.ID(), n, ErrBreakerOpen)}
+			continue
+		}
+		if req.ctx.Err() != nil {
+			req.resp <- result{err: fmt.Errorf("workerpool: point %s canceled before dispatch: %w",
+				req.spec.ID(), core.ErrAborted)}
+			continue
+		}
+		if w == nil {
+			var err error
+			if w, err = p.startWorker(); err != nil {
+				// Spawn failure (missing binary, fd exhaustion): answer,
+				// then back off before this slot tries again.
+				req.resp <- result{err: err}
+				p.sleep(p.jitteredBackoff(&backoff))
+				continue
+			}
+			if respawn {
+				p.restarts.Add(1)
+				respawn = false
+			}
+		}
+		w.seq++
+		if err := w.send(harness.WireRequest{Seq: w.seq, Spec: req.spec}); err != nil {
+			// The worker died between points; recycle it and report the
+			// point as crashed (its simulation never started, but the
+			// caller cannot know that — crashed is the honest class).
+			w, respawn = p.replaceCrashed(w, req, &backoff), true
+			continue
+		}
+		timer := time.NewTimer(p.opts.PointTimeout)
+		select {
+		case resp, ok := <-w.responses:
+			timer.Stop()
+			if !ok || resp.Seq != w.seq {
+				// Death mid-point, or a desynchronized stream — recycle.
+				w, respawn = p.replaceCrashed(w, req, &backoff), true
+				continue
+			}
+			p.points.Add(1)
+			p.recordServed(req.key)
+			backoff = p.opts.BackoffBase
+			if resp.Err {
+				req.resp <- result{err: fmt.Errorf("workerpool: %s", resp.Error)}
+			} else {
+				req.resp <- result{row: resp.Row}
+			}
+		case <-timer.C:
+			// Hard wall-clock kill: the one guard a runaway process
+			// cannot dodge. Counts as a crash for the breaker — a point
+			// that reliably outruns the timeout is poisoned too.
+			w.kill()
+			w, respawn = nil, true
+			p.kills.Add(1)
+			p.recordCrash(req.key)
+			req.resp <- result{err: fmt.Errorf("workerpool: point %s exceeded %v: %w",
+				req.spec.ID(), p.opts.PointTimeout, ErrKilled)}
+		case <-req.ctx.Done():
+			timer.Stop()
+			// Job deadline or client disconnect: kill the worker so the
+			// slot frees now instead of at the point's natural end. Not a
+			// crash — the point did nothing wrong.
+			w.kill()
+			w, respawn = nil, true
+			req.resp <- result{err: fmt.Errorf("workerpool: point %s canceled mid-run: %w",
+				req.spec.ID(), core.ErrAborted)}
+		case <-p.done:
+			timer.Stop()
+			req.resp <- result{err: ErrClosed}
+			return
+		}
+	}
+}
+
+// replaceCrashed records a crash of req's point, answers the caller, and
+// schedules the slot's next worker behind the backoff delay. Returns nil:
+// the next worker spawns lazily on the following request.
+func (p *Pool) replaceCrashed(w *worker, req *request, backoff *time.Duration) *worker {
+	w.kill()
+	p.recordCrash(req.key)
+	req.resp <- result{err: fmt.Errorf("workerpool: point %s: worker died mid-point: %w",
+		req.spec.ID(), ErrCrashed)}
+	p.sleep(p.jitteredBackoff(backoff))
+	return nil
+}
